@@ -1,0 +1,200 @@
+(* Benchmark harness.
+
+   Phase 1 regenerates every table and figure of the paper's evaluation
+   through Tl_harness.Experiments (macro measurements: construction times,
+   estimation errors, response times, pruning sweeps).
+
+   Phase 2 runs bechamel micro-benchmarks — one Test.make per timed paper
+   artifact — so per-operation costs (summary construction per dataset for
+   Table 3, per-scheme estimation for Fig. 9, exact counting, mining) are
+   measured with proper linear-regression timing rather than single-shot
+   stopwatches.
+
+   Usage: main.exe [--quick] [--skip-micro] [--target N] *)
+
+open Bechamel
+module Experiments = Tl_harness.Experiments
+module Dataset = Tl_datasets.Dataset
+module Data_tree = Tl_tree.Data_tree
+module Summary = Tl_lattice.Summary
+module Estimator = Tl_core.Estimator
+module Twig = Tl_twig.Twig
+
+let has_flag name = Array.exists (String.equal name) Sys.argv
+
+let arg_value name =
+  let result = ref None in
+  Array.iteri
+    (fun i a -> if String.equal a name && i + 1 < Array.length Sys.argv then result := Some Sys.argv.(i + 1))
+    Sys.argv;
+  !result
+
+(* --- phase 2: micro-benchmarks ------------------------------------------ *)
+
+(* A small fixed environment so micro-benchmarks are quick and stable. *)
+let micro_target = 6_000
+
+let micro_tests () =
+  let datasets = [ Dataset.nasa; Dataset.xmark ] in
+  let prepared =
+    List.map
+      (fun d ->
+        let tree = Dataset.tree d ~target:micro_target ~seed:11 in
+        let ctx = Tl_twig.Match_count.create_ctx tree in
+        let summary = Summary.build ~k:4 tree in
+        let sketch = Tl_sketch.Sketch_build.build ~budget_bytes:(8 * 1024) tree in
+        let wl =
+          match Tl_workload.Workload.positive ~seed:13 ctx ~size:7 ~count:1 with
+          | { queries = [||]; _ } -> None
+          | { queries; _ } -> Some queries.(0).Tl_workload.Workload.twig
+        in
+        (d.Dataset.name, tree, ctx, summary, sketch, wl))
+      datasets
+  in
+  let construction =
+    List.concat_map
+      (fun (name, tree, _, _, _, _) ->
+        [
+          Test.make
+            ~name:(Printf.sprintf "table3/lattice-build/%s" name)
+            (Staged.stage (fun () -> ignore (Summary.build ~k:4 tree)));
+          Test.make
+            ~name:(Printf.sprintf "table3/sketch-build/%s" name)
+            (Staged.stage (fun () -> ignore (Tl_sketch.Sketch_build.build ~budget_bytes:(8 * 1024) tree)));
+        ])
+      prepared
+  in
+  let estimation =
+    List.concat_map
+      (fun (name, _, ctx, summary, sketch, wl) ->
+        match wl with
+        | None -> []
+        | Some twig ->
+          [
+            Test.make
+              ~name:(Printf.sprintf "fig9/recursive/%s" name)
+              (Staged.stage (fun () -> ignore (Estimator.estimate summary Recursive twig)));
+            Test.make
+              ~name:(Printf.sprintf "fig9/voting/%s" name)
+              (Staged.stage (fun () -> ignore (Estimator.estimate summary Recursive_voting twig)));
+            Test.make
+              ~name:(Printf.sprintf "fig9/fixed-size/%s" name)
+              (Staged.stage (fun () -> ignore (Estimator.estimate summary Fixed_size twig)));
+            Test.make
+              ~name:(Printf.sprintf "fig9/treesketches/%s" name)
+              (Staged.stage (fun () -> ignore (Tl_sketch.Sketch_estimate.estimate sketch twig)));
+            Test.make
+              ~name:(Printf.sprintf "exact-count/%s" name)
+              (Staged.stage (fun () -> ignore (Tl_twig.Match_count.selectivity ctx twig)));
+          ])
+      prepared
+  in
+  let mining =
+    List.map
+      (fun (name, _, ctx, _, _, _) ->
+        Test.make
+          ~name:(Printf.sprintf "table2/mine-3-lattice/%s" name)
+          (Staged.stage (fun () -> ignore (Tl_mining.Miner.mine ctx ~max_size:3))))
+      prepared
+  in
+  (* Subsystems beyond the paper's tables: ingestion routes, the Markov
+     path baseline, planning, and match enumeration. *)
+  let extras =
+    match prepared with
+    | [] -> []
+    | (name, tree, _, summary, _, wl) :: _ ->
+      let xml =
+        Tl_xml.Xml_writer.to_string
+          { decl = None; root = (Dataset.xmark.Dataset.document ~target:micro_target ~seed:11) }
+      in
+      let markov = Tl_paths.Markov_table.build ~order:3 tree in
+      let ingestion =
+        [
+          Test.make ~name:"ingest/dom-route"
+            (Staged.stage (fun () ->
+                 ignore (Data_tree.of_xml (Tl_xml.Xml_dom.parse_string xml))));
+          Test.make ~name:"ingest/sax-route"
+            (Staged.stage (fun () -> ignore (Tl_tree.Tree_load.of_string xml)));
+        ]
+      in
+      let per_query =
+        match wl with
+        | None -> []
+        | Some twig ->
+          [
+            Test.make
+              ~name:(Printf.sprintf "plan/greedy/%s" name)
+              (Staged.stage (fun () -> ignore (Tl_join.Plan.greedy summary twig)));
+            Test.make
+              ~name:(Printf.sprintf "execute/guided/%s" name)
+              (Staged.stage
+                 (let plan = Tl_join.Plan.greedy summary twig in
+                  fun () -> ignore (Tl_join.Executor.run tree plan)));
+            Test.make
+              ~name:(Printf.sprintf "enumerate/limit64/%s" name)
+              (Staged.stage (fun () -> ignore (Tl_twig.Match_enum.enumerate ~limit:64 tree twig)));
+            Test.make
+              ~name:(Printf.sprintf "markov-table/path/%s" name)
+              (Staged.stage
+                 (let path =
+                    match Twig.path_labels (Twig.of_path (Twig.labels twig)) with
+                    | Some p -> p
+                    | None -> Twig.labels twig
+                  in
+                  fun () -> ignore (Tl_paths.Markov_table.estimate markov path)));
+          ]
+      in
+      ingestion @ per_query
+  in
+  construction @ estimation @ mining @ extras
+
+let run_micro () =
+  let tests = Test.make_grouped ~name:"treelattice" (micro_tests ()) in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  print_string (Tl_harness.Report.section "micro" "bechamel micro-benchmarks (per call)");
+  let render (name, ols) =
+    let nanos =
+      match Analyze.OLS.estimates ols with Some (t :: _) -> t | Some [] | None -> Float.nan
+    in
+    let pretty =
+      if Float.is_nan nanos then "n/a"
+      else if nanos > 1e9 then Printf.sprintf "%8.2f s " (nanos /. 1e9)
+      else if nanos > 1e6 then Printf.sprintf "%8.2f ms" (nanos /. 1e6)
+      else if nanos > 1e3 then Printf.sprintf "%8.2f us" (nanos /. 1e3)
+      else Printf.sprintf "%8.2f ns" nanos
+    in
+    let r2 = match Analyze.OLS.r_square ols with Some r -> Printf.sprintf "%.4f" r | None -> "-" in
+    Printf.printf "  %-44s %s  (r²=%s)\n" name pretty r2
+  in
+  List.iter render rows
+
+(* --- main ----------------------------------------------------------------- *)
+
+let () =
+  let quick = has_flag "--quick" in
+  let config = if quick then Experiments.quick_config else Experiments.default_config in
+  let config =
+    match arg_value "--target" with
+    | Some t -> { config with Experiments.target = int_of_string t }
+    | None -> config
+  in
+  Printf.printf
+    "TreeLattice reproduction bench (target=%d elements/dataset, k=%d, %d queries/size)\n%!"
+    config.Experiments.target config.Experiments.k config.Experiments.queries_per_size;
+  let suite, ms = Tl_util.Timer.time_ms (fun () -> Experiments.make_suite config) in
+  Printf.printf "prepared 4 datasets in %.1f s\n%!" (ms /. 1000.0);
+  List.iter
+    (fun (id, _, driver) ->
+      let report, ms = Tl_util.Timer.time_ms (fun () -> driver suite) in
+      print_string report;
+      Printf.printf "  [%s completed in %.1f s]\n%!" id (ms /. 1000.0))
+    Experiments.all_experiments;
+  if not (has_flag "--skip-micro") then run_micro ()

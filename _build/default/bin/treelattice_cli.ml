@@ -1,0 +1,406 @@
+(* treelattice: command-line front-end.
+
+   Subcommands:
+     generate   write a synthetic dataset as XML
+     stats      print structural statistics (DOM or SAX route)
+     summarize  mine an XML file into a k-lattice summary file
+     mine       print per-level pattern statistics of an XML file
+     estimate   estimate (and optionally check) a twig query
+     xpath      estimate an XPath query (child steps + predicates)
+     match      enumerate actual matches of a twig query
+     plan       naive vs estimate-guided join plans
+     values     estimate a twig query with value predicates
+     prune      delta-prune a summary file
+     exp        run reproduction experiments *)
+
+open Cmdliner
+module Dataset = Tl_datasets.Dataset
+module Data_tree = Tl_tree.Data_tree
+module Summary = Tl_lattice.Summary
+module Summary_io = Tl_lattice.Summary_io
+module Treelattice = Tl_core.Treelattice
+module Estimator = Tl_core.Estimator
+module Experiments = Tl_harness.Experiments
+
+let load_tree path = Data_tree.of_xml (Tl_xml.Xml_dom.parse_file path)
+
+(* --- shared args -------------------------------------------------------- *)
+
+let xml_arg =
+  Arg.(required & opt (some file) None & info [ "xml" ] ~docv:"FILE" ~doc:"Input XML document.")
+
+let seed_arg = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let k_arg = Arg.(value & opt int 4 & info [ "k" ] ~docv:"K" ~doc:"Lattice depth (default 4).")
+
+let scheme_conv =
+  let parse = function
+    | "recursive" -> Ok Estimator.Recursive
+    | "voting" | "recursive-voting" -> Ok Estimator.Recursive_voting
+    | "fixed" | "fixed-size" -> Ok Estimator.Fixed_size
+    | "fixed-voting" -> Ok (Estimator.Fixed_size_voting 8)
+    | other -> Error (`Msg (Printf.sprintf "unknown scheme %S" other))
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Estimator.scheme_name s))
+
+let scheme_arg =
+  Arg.(
+    value
+    & opt scheme_conv Estimator.Recursive_voting
+    & info [ "scheme" ] ~docv:"SCHEME"
+        ~doc:"Estimator: recursive, voting, fixed-size, or fixed-voting.")
+
+(* --- generate ------------------------------------------------------------ *)
+
+let dataset_conv =
+  let parse name =
+    match Dataset.find name with
+    | Some d -> Ok d
+    | None -> Error (`Msg (Printf.sprintf "unknown dataset %S (nasa, imdb, xmark, psd)" name))
+  in
+  Arg.conv (parse, fun fmt d -> Format.pp_print_string fmt d.Dataset.name)
+
+let generate_cmd =
+  let dataset =
+    Arg.(
+      required & pos 0 (some dataset_conv) None & info [] ~docv:"DATASET" ~doc:"nasa, imdb, xmark, or psd.")
+  in
+  let target =
+    Arg.(value & opt int 40_000 & info [ "target" ] ~docv:"N" ~doc:"Approximate element count.")
+  in
+  let output =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  let run dataset target seed output =
+    let element = dataset.Dataset.document ~target ~seed in
+    Tl_xml.Xml_writer.to_file ~indent:true output { decl = Some [ ("version", "1.0") ]; root = element };
+    Printf.printf "wrote %s (%d elements)\n" output
+      (Tl_xml.Xml_dom.count_elements { decl = None; root = element })
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic evaluation dataset as XML.")
+    Term.(const run $ dataset $ target $ seed_arg $ output)
+
+(* --- summarize ------------------------------------------------------------ *)
+
+let summarize_cmd =
+  let output =
+    Arg.(
+      required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Summary output path.")
+  in
+  let run xml k output =
+    let tree = load_tree xml in
+    let summary, ms = Tl_util.Timer.time_ms (fun () -> Summary.build ~k tree) in
+    Summary_io.save_file ~names:(Data_tree.label_names tree) output summary;
+    Printf.printf "mined %d patterns (%.0f ms, %d bytes) -> %s\n" (Summary.entries summary) ms
+      (Summary.memory_bytes summary) output
+  in
+  Cmd.v
+    (Cmd.info "summarize" ~doc:"Mine an XML document into a k-lattice summary file.")
+    Term.(const run $ xml_arg $ k_arg $ output)
+
+(* --- stats ------------------------------------------------------------------ *)
+
+let stats_cmd =
+  let histogram =
+    Arg.(value & opt int 0 & info [ "histogram" ] ~docv:"N" ~doc:"Also print the N most frequent tags.")
+  in
+  let sax =
+    Arg.(value & flag & info [ "sax" ] ~doc:"Load via the streaming SAX path (no DOM).")
+  in
+  let run xml histogram sax =
+    let tree, ms =
+      Tl_util.Timer.time_ms (fun () ->
+          if sax then Tl_tree.Tree_load.of_file xml else load_tree xml)
+    in
+    let stats = Tl_tree.Tree_stats.compute tree in
+    Printf.printf "loaded in %.0f ms (%s route)\n" ms (if sax then "SAX" else "DOM");
+    print_endline (Tl_tree.Tree_stats.pp stats);
+    if histogram > 0 then begin
+      print_endline "most frequent tags:";
+      List.iter
+        (fun (tag, count) -> Printf.printf "  %-24s %d\n" tag count)
+        (Tl_util.Prelude.list_take histogram (Tl_tree.Tree_stats.label_histogram tree))
+    end
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print structural statistics of an XML document.")
+    Term.(const run $ xml_arg $ histogram $ sax)
+
+(* --- mine ------------------------------------------------------------------ *)
+
+let mine_cmd =
+  let top =
+    Arg.(
+      value & opt int 0
+      & info [ "top" ] ~docv:"N" ~doc:"Also print the N most frequent patterns per level.")
+  in
+  let run xml k top =
+    let tree = load_tree xml in
+    let ctx = Tl_twig.Match_count.create_ctx tree in
+    let result = Tl_mining.Miner.mine ctx ~max_size:k in
+    Array.iteri
+      (fun i count -> Printf.printf "level %d: %d patterns\n" (i + 1) count)
+      (Tl_mining.Miner.patterns_per_level result);
+    if top > 0 then
+      for level = 1 to k do
+        let patterns =
+          List.sort (fun (_, a) (_, b) -> compare b a) (Tl_mining.Miner.level result level)
+        in
+        Printf.printf "-- level %d --\n" level;
+        List.iter
+          (fun (twig, count) ->
+            Printf.printf "%8d  %s\n" count (Tl_twig.Twig.pp ~names:(Data_tree.label_name tree) twig))
+          (Tl_util.Prelude.list_take top patterns)
+      done
+  in
+  Cmd.v
+    (Cmd.info "mine" ~doc:"Print occurring-pattern statistics of an XML document.")
+    Term.(const run $ xml_arg $ k_arg $ top)
+
+(* --- estimate --------------------------------------------------------------- *)
+
+let estimate_cmd =
+  let query =
+    Arg.(
+      required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"Twig query, e.g. 'a(b,c(d))'.")
+  in
+  let exact =
+    Arg.(value & flag & info [ "exact" ] ~doc:"Also compute the exact count by full matching.")
+  in
+  let run xml k scheme query exact =
+    let tl = Treelattice.build ~k (load_tree xml) in
+    match Treelattice.estimate_string ~scheme tl query with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok estimate ->
+      Printf.printf "estimate[%s] = %.2f\n" (Estimator.scheme_name scheme) estimate;
+      if exact then begin
+        match Treelattice.exact_string tl query with
+        | Ok truth -> Printf.printf "exact = %d\n" truth
+        | Error msg -> prerr_endline msg
+      end
+  in
+  Cmd.v
+    (Cmd.info "estimate" ~doc:"Estimate the selectivity of a twig query against an XML document.")
+    Term.(const run $ xml_arg $ k_arg $ scheme_arg $ query $ exact)
+
+(* --- xpath ------------------------------------------------------------------- *)
+
+let xpath_cmd =
+  let query =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"XPath query, e.g. '//open_auction[bidder][seller]'.")
+  in
+  let exact =
+    Arg.(value & flag & info [ "exact" ] ~doc:"Also compute the exact count by full matching.")
+  in
+  let run xml k scheme query exact =
+    let tl = Treelattice.build ~k (load_tree xml) in
+    match Treelattice.estimate_xpath ~scheme tl query with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok estimate ->
+      Printf.printf "estimate[%s] = %.2f\n" (Estimator.scheme_name scheme) estimate;
+      if exact then begin
+        match Treelattice.exact_xpath tl query with
+        | Ok truth -> Printf.printf "exact = %d\n" truth
+        | Error msg -> prerr_endline msg
+      end
+  in
+  Cmd.v
+    (Cmd.info "xpath" ~doc:"Estimate the selectivity of an XPath query (child steps + predicates).")
+    Term.(const run $ xml_arg $ k_arg $ scheme_arg $ query $ exact)
+
+(* --- match ------------------------------------------------------------------- *)
+
+let match_cmd =
+  let query =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"Twig query in twig or XPath syntax.")
+  in
+  let limit =
+    Arg.(value & opt int 10 & info [ "limit" ] ~docv:"N" ~doc:"Maximum matches to print (default 10).")
+  in
+  let run xml query limit =
+    let tree = load_tree xml in
+    let twig =
+      (* Accept both syntaxes: XPath when it starts with '/', twig otherwise;
+         fall back to the other on failure. *)
+      let from_xpath () =
+        Result.bind (Tl_twig.Xpath.parse query)
+          (Tl_twig.Xpath.to_twig ~intern:(fun tag -> Some (Data_tree.intern_label tree tag)))
+      in
+      let from_twig () =
+        Tl_twig.Twig_parse.parse_twig ~intern:(fun tag -> Some (Data_tree.intern_label tree tag)) query
+      in
+      match (if String.length query > 0 && query.[0] = '/' then from_xpath () else from_twig ()) with
+      | Ok t -> t
+      | Error _ -> (
+        match (if String.length query > 0 && query.[0] = '/' then from_twig () else from_xpath ()) with
+        | Ok t -> t
+        | Error msg ->
+          prerr_endline msg;
+          exit 1)
+    in
+    let matches = Tl_twig.Match_enum.enumerate ~limit tree twig in
+    let total = Tl_twig.Match_count.count tree twig in
+    Printf.printf "%d match(es); showing up to %d\n" total limit;
+    let ix = Tl_twig.Twig.index twig in
+    List.iteri
+      (fun i assignment ->
+        Printf.printf "match %d:\n" (i + 1);
+        Array.iteri
+          (fun q v ->
+            Printf.printf "  %s -> node %d\n"
+              (Data_tree.label_name tree ix.Tl_twig.Twig.node_labels.(q))
+              v)
+          assignment)
+      matches
+  in
+  Cmd.v
+    (Cmd.info "match" ~doc:"Enumerate actual matches of a twig query.")
+    Term.(const run $ xml_arg $ query $ limit)
+
+(* --- prune ------------------------------------------------------------------- *)
+
+let prune_cmd =
+  let input =
+    Arg.(required & opt (some file) None & info [ "summary" ] ~docv:"FILE" ~doc:"Summary file to prune.")
+  in
+  let delta =
+    Arg.(
+      value & opt float 0.0 & info [ "delta" ] ~docv:"D" ~doc:"Relative error tolerance (0.1 = 10%).")
+  in
+  let output =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  let run input delta output =
+    let summary, names = Summary_io.load_file input in
+    let pruned = Tl_core.Derivable.prune summary ~delta in
+    Summary_io.save_file ~names output pruned;
+    Printf.printf "%d -> %d patterns (%d -> %d bytes)\n" (Summary.entries summary)
+      (Summary.entries pruned) (Summary.memory_bytes summary) (Summary.memory_bytes pruned)
+  in
+  Cmd.v
+    (Cmd.info "prune" ~doc:"Remove delta-derivable patterns from a summary file.")
+    Term.(const run $ input $ delta $ output)
+
+(* --- plan ------------------------------------------------------------------------ *)
+
+let plan_cmd =
+  let query =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"Twig query, e.g. 'a(b,c(d))'.")
+  in
+  let execute =
+    Arg.(value & flag & info [ "execute" ] ~doc:"Run both plans and report materialized tuples.")
+  in
+  let run xml k query execute =
+    let tree = load_tree xml in
+    let summary = Summary.build ~k tree in
+    match
+      Tl_twig.Twig_parse.parse_twig ~intern:(fun tag -> Some (Data_tree.intern_label tree tag)) query
+    with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok twig ->
+      let names = Data_tree.label_name tree in
+      let naive = Tl_join.Plan.naive twig in
+      let guided = Tl_join.Plan.greedy summary twig in
+      Printf.printf "naive : %s (estimated cost %.0f)\n"
+        (Tl_join.Plan.pp ~names naive)
+        (Tl_join.Plan.estimated_cost summary naive);
+      Printf.printf "guided: %s (estimated cost %.0f)\n"
+        (Tl_join.Plan.pp ~names guided)
+        (Tl_join.Plan.estimated_cost summary guided);
+      if execute then begin
+        let n = Tl_join.Executor.run tree naive in
+        let g = Tl_join.Executor.run tree guided in
+        Printf.printf "executed: naive %d tuples, guided %d tuples, %d results\n"
+          n.Tl_join.Executor.tuples_materialized g.Tl_join.Executor.tuples_materialized
+          g.Tl_join.Executor.result_count
+      end
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Show naive vs estimate-guided join plans for a twig query.")
+    Term.(const run $ xml_arg $ k_arg $ query $ execute)
+
+(* --- values ---------------------------------------------------------------------- *)
+
+let values_cmd =
+  let query =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"Value twig, e.g. 'book(genre=cs,title=\"ocaml\")'.")
+  in
+  let exact = Arg.(value & flag & info [ "exact" ] ~doc:"Also compute the exact count.") in
+  let run xml k query exact =
+    let vtree = Tl_values.Value_tree.of_xml (Tl_xml.Xml_dom.parse_file xml) in
+    let est = Tl_values.Value_estimator.create ~k vtree in
+    match Tl_values.Value_estimator.estimate_string est query with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok estimate ->
+      Printf.printf "estimate = %.2f\n" estimate;
+      if exact then begin
+        match Tl_values.Value_estimator.exact_string est query with
+        | Ok truth -> Printf.printf "exact = %d\n" truth
+        | Error msg -> prerr_endline msg
+      end
+  in
+  Cmd.v
+    (Cmd.info "values" ~doc:"Estimate a twig query with value predicates.")
+    Term.(const run $ xml_arg $ k_arg $ query $ exact)
+
+(* --- exp ---------------------------------------------------------------------- *)
+
+let exp_cmd =
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all).") in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Use the fast, reduced-scale configuration.")
+  in
+  let target =
+    Arg.(
+      value & opt (some int) None & info [ "target" ] ~docv:"N" ~doc:"Override dataset element count.")
+  in
+  let list_flag = Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids and exit.") in
+  let run ids quick target list_flag =
+    if list_flag then
+      List.iter (fun (id, title, _) -> Printf.printf "%-8s %s\n" id title) Experiments.all_experiments
+    else begin
+      let config = if quick then Experiments.quick_config else Experiments.default_config in
+      let config = match target with None -> config | Some t -> { config with target = t } in
+      let suite = Experiments.make_suite config in
+      match ids with
+      | [] -> print_string (Experiments.run_all suite)
+      | ids ->
+        List.iter
+          (fun id ->
+            match Experiments.run suite id with
+            | Some report -> print_string report
+            | None ->
+              Printf.eprintf "unknown experiment %S (try --list)\n" id;
+              exit 1)
+          ids
+    end
+  in
+  Cmd.v
+    (Cmd.info "exp" ~doc:"Run the paper-reproduction experiments.")
+    Term.(const run $ ids $ quick $ target $ list_flag)
+
+let main =
+  let doc = "TreeLattice: decomposition-based XML twig selectivity estimation" in
+  Cmd.group
+    (Cmd.info "treelattice" ~version:"1.0.0" ~doc)
+    [
+      generate_cmd; summarize_cmd; stats_cmd; mine_cmd; estimate_cmd; xpath_cmd; match_cmd;
+      plan_cmd; values_cmd; prune_cmd; exp_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/approximate_count.ml: Array Float List Printf Tl_core Tl_datasets Tl_tree Tl_twig Tl_util Tl_workload

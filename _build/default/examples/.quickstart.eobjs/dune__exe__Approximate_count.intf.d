@@ -1,0 +1,1 @@
+examples/approximate_count.mli:

@@ -1,0 +1,1 @@
+examples/auction_optimizer.ml: List Printf Tl_core Tl_datasets Tl_tree Tl_util

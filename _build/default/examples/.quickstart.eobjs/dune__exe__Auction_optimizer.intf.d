@@ -1,0 +1,1 @@
+examples/auction_optimizer.mli:

@@ -1,0 +1,1 @@
+examples/fig11_walkthrough.ml: Float List Printf Result Tl_core Tl_sketch Tl_tree Tl_twig

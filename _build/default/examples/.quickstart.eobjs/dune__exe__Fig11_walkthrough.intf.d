@@ -1,0 +1,1 @@
+examples/fig11_walkthrough.mli:

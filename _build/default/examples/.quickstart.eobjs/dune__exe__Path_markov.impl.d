@@ -1,0 +1,1 @@
+examples/path_markov.ml: Float Hashtbl List Printf String Tl_core Tl_datasets Tl_tree Tl_twig Tl_util

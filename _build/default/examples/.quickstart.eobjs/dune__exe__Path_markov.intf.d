@@ -1,0 +1,1 @@
+examples/path_markov.mli:

@@ -1,0 +1,1 @@
+examples/query_planner.ml: Float List Printf Tl_datasets Tl_join Tl_lattice Tl_tree Tl_twig Tl_util

@@ -1,0 +1,1 @@
+examples/query_planner.mli:

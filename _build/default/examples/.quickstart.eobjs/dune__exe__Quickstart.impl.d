@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Tl_core Tl_datasets Tl_lattice Tl_tree Tl_util

@@ -1,0 +1,1 @@
+examples/value_queries.ml: Array Buffer List Printf Tl_tree Tl_util Tl_values Tl_xml

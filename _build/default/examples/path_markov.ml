@@ -1,0 +1,52 @@
+(* Lemma 4 in action: on path queries the decomposition framework IS the
+   classic Markov-model path estimator of Lore / Markov tables /
+   XPathLearner.
+
+   We take root-to-descendant paths longer than the lattice depth and show
+   that the recursive decomposition, the fixed-size decomposition, and the
+   direct Markov formula produce identical estimates — TreeLattice strictly
+   generalizes the Markov path estimators to branching twigs.
+
+   Run with: dune exec examples/path_markov.exe *)
+
+module Dataset = Tl_datasets.Dataset
+module Data_tree = Tl_tree.Data_tree
+module Treelattice = Tl_core.Treelattice
+module Estimator = Tl_core.Estimator
+module Markov_path = Tl_core.Markov_path
+module Twig = Tl_twig.Twig
+
+let () =
+  let tree = Dataset.tree Dataset.nasa ~target:20_000 ~seed:9 in
+  let tl = Treelattice.build ~k:3 tree in
+  let summary = Treelattice.summary tl in
+  let name l = Data_tree.label_name tree l in
+
+  (* Collect distinct root-to-node label paths of length 4..6. *)
+  let paths = Hashtbl.create 64 in
+  Data_tree.iter_nodes tree (fun v ->
+      let rec ancestry v acc =
+        match Data_tree.parent tree v with
+        | None -> Data_tree.label tree v :: acc
+        | Some p -> ancestry p (Data_tree.label tree v :: acc)
+      in
+      let labels = ancestry v [] in
+      let len = List.length labels in
+      if len >= 4 && len <= 6 then Hashtbl.replace paths labels ());
+  let paths = Hashtbl.fold (fun p () acc -> p :: acc) paths [] in
+  let paths = Tl_util.Prelude.list_take 10 (List.sort compare paths) in
+
+  Printf.printf "%-52s %10s %10s %10s %8s\n" "path query" "markov" "recursive" "fixed" "exact";
+  List.iter
+    (fun labels ->
+      let twig = Twig.of_path labels in
+      let markov = Markov_path.estimate summary labels in
+      let recursive = Estimator.estimate summary Recursive twig in
+      let fixed = Estimator.estimate summary Fixed_size twig in
+      let exact = Treelattice.exact tl twig in
+      let rendered = String.concat "/" (List.map name labels) in
+      Printf.printf "%-52s %10.2f %10.2f %10.2f %8d\n" rendered markov recursive fixed exact;
+      assert (Float.abs (markov -. recursive) <= 1e-6 *. Float.max 1.0 (Float.abs markov));
+      assert (Float.abs (markov -. fixed) <= 1e-6 *. Float.max 1.0 (Float.abs markov)))
+    paths;
+  print_endline "\nall three estimators agree on every path (Lemma 4)."

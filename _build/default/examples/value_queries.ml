@@ -1,0 +1,72 @@
+(* Value predicates — the paper's first future-work item, implemented.
+
+   Structure and values factorize: the lattice summary prices the twig
+   shape, per-label value histograms price each predicate, and the product
+   estimates the constrained query.  This example runs the whole pipeline
+   on a small product catalogue and audits the estimates against exact
+   matching.
+
+   Run with: dune exec examples/value_queries.exe *)
+
+module Value_tree = Tl_values.Value_tree
+module Value_estimator = Tl_values.Value_estimator
+module Value_summary = Tl_values.Value_summary
+
+(* A catalogue where brand correlates with category only weakly. *)
+let catalogue () =
+  let buf = Buffer.create 4096 in
+  let rng = Tl_util.Xorshift.create 7 in
+  Buffer.add_string buf "<catalog>";
+  let brands = [| "acme"; "globex"; "initech"; "umbrella" |] in
+  let categories = [| "laptop"; "desktop"; "tablet" |] in
+  for _ = 1 to 400 do
+    let brand = brands.(Tl_util.Xorshift.int rng (Array.length brands)) in
+    let category = categories.(Tl_util.Xorshift.int rng (Array.length categories)) in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<product><brand>%s</brand><category>%s</category><price>%d</price>%s</product>" brand
+         category
+         ((1 + Tl_util.Xorshift.int rng 20) * 50)
+         (if Tl_util.Xorshift.bernoulli rng 0.4 then "<warranty>2y</warranty>" else ""))
+  done;
+  Buffer.add_string buf "</catalog>";
+  Buffer.contents buf
+
+let () =
+  let vtree = Value_tree.of_xml (Tl_xml.Xml_dom.parse_string (catalogue ())) in
+  Printf.printf "catalogue: %d elements, %d carry values\n\n"
+    (Tl_tree.Data_tree.size (Value_tree.tree vtree))
+    (Value_tree.valued_nodes vtree);
+  let est = Value_estimator.create ~k:3 vtree in
+
+  (* The value histograms driving the predicate factors. *)
+  (match Tl_tree.Data_tree.label_of_string (Value_tree.tree vtree) "brand" with
+  | Some brand ->
+    print_endline "brand histogram:";
+    List.iter
+      (fun (value, count) -> Printf.printf "  %-10s %d\n" value count)
+      (Value_summary.top_values (Value_estimator.values est) brand)
+  | None -> ());
+  print_newline ();
+
+  let queries =
+    [
+      "product(brand=acme)";
+      "product(brand=acme,category=laptop)";
+      "product(brand=globex,warranty)";
+      "product(category=tablet,price,warranty=2y)";
+      "product(brand=acme,category=laptop,warranty=2y)";
+      "product(brand=nonexistent)";
+    ]
+  in
+  Printf.printf "%-52s %10s %8s\n" "query" "estimate" "exact";
+  List.iter
+    (fun q ->
+      match (Value_estimator.estimate_string est q, Value_estimator.exact_string est q) with
+      | Ok estimate, Ok exact -> Printf.printf "%-52s %10.1f %8d\n" q estimate exact
+      | Error m, _ | _, Error m -> Printf.printf "%-52s  error: %s\n" q m)
+    queries;
+
+  print_newline ();
+  print_endline "Estimates are the structural twig estimate times one histogram factor";
+  print_endline "per predicate; with independent values they track exact counts closely."

@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Estimator Hashtbl Tl_lattice Tl_twig Treelattice

@@ -1,0 +1,1 @@
+lib/core/derivable.ml: Estimator Float List Tl_lattice Tl_twig

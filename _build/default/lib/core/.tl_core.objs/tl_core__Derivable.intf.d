@@ -1,0 +1,1 @@
+lib/core/derivable.mli: Estimator Tl_lattice

@@ -1,0 +1,1 @@
+lib/core/estimator.ml: Array Float Hashtbl List Printf Tl_lattice Tl_twig Tl_util

@@ -1,0 +1,1 @@
+lib/core/estimator.mli: Tl_lattice Tl_twig

@@ -1,0 +1,1 @@
+lib/core/markov_path.ml: Estimator List Option Tl_lattice Tl_twig

@@ -1,0 +1,1 @@
+lib/core/markov_path.mli: Tl_lattice Tl_twig

@@ -1,0 +1,1 @@
+lib/core/treelattice.ml: Array Derivable Estimator List Result Tl_lattice Tl_mining Tl_tree Tl_twig

@@ -1,0 +1,1 @@
+lib/core/treelattice.mli: Estimator Tl_lattice Tl_tree Tl_twig

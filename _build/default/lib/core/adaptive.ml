@@ -1,0 +1,62 @@
+module Twig = Tl_twig.Twig
+
+type entry = { count : int; mutable last_used : int }
+
+type t = {
+  tl : Treelattice.t;
+  capacity : int;
+  cache : (string, entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+}
+
+let create ?(capacity = 256) tl =
+  if capacity < 1 then invalid_arg "Adaptive.create: capacity must be >= 1";
+  { tl; capacity; cache = Hashtbl.create capacity; clock = 0; hits = 0 }
+
+let base t = t.tl
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let lookup t key =
+  match Hashtbl.find_opt t.cache key with
+  | Some entry ->
+    entry.last_used <- tick t;
+    t.hits <- t.hits + 1;
+    Some (float_of_int entry.count)
+  | None -> None
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key entry ->
+      match !victim with
+      | Some (_, oldest) when oldest <= entry.last_used -> ()
+      | _ -> victim := Some (key, entry.last_used))
+    t.cache;
+  match !victim with Some (key, _) -> Hashtbl.remove t.cache key | None -> ()
+
+let observe t twig count =
+  if count < 0 then invalid_arg "Adaptive.observe: negative count";
+  let twig = Twig.canonicalize twig in
+  (* The lattice already stores every pattern within its depth exactly;
+     caching those would only waste capacity. *)
+  if Twig.size twig > Tl_lattice.Summary.k (Treelattice.summary t.tl) then begin
+    let key = Twig.encode twig in
+    if (not (Hashtbl.mem t.cache key)) && Hashtbl.length t.cache >= t.capacity then evict_lru t;
+    Hashtbl.replace t.cache key { count; last_used = tick t }
+  end
+
+let observe_exact t twig =
+  let count = Treelattice.exact t.tl twig in
+  observe t twig count;
+  count
+
+let estimate ?(scheme = Treelattice.default_scheme) t twig =
+  Estimator.estimate ~extra:(lookup t) (Treelattice.summary t.tl) scheme twig
+
+let cached_patterns t = Hashtbl.length t.cache
+
+let hit_count t = t.hits

@@ -1,0 +1,37 @@
+(** Workload-adaptive estimation — the paper's third future-work item
+    ("adapt TreeLattice, in a manner similar to XPathLearner, where
+    information learned from on-line workload can guide what is to be
+    maintained in the summary structure").
+
+    The adaptive layer keeps a bounded LRU cache of {e exact} counts for
+    twigs the workload has already answered (query feedback).  Estimation
+    consults the cache before the lattice at {e every} decomposition step,
+    so an observed large twig also anchors estimates of its supertwigs and
+    of other twigs that decompose through it. *)
+
+type t
+
+val create : ?capacity:int -> Treelattice.t -> t
+(** Wrap a TreeLattice instance with a feedback cache of at most
+    [capacity] patterns (default 256).  Raises [Invalid_argument] when
+    [capacity < 1]. *)
+
+val base : t -> Treelattice.t
+
+val estimate : ?scheme:Estimator.scheme -> t -> Tl_twig.Twig.t -> float
+(** Like {!Treelattice.estimate}, with cached counts taking precedence at
+    every lookup. *)
+
+val observe : t -> Tl_twig.Twig.t -> int -> unit
+(** Record the true count of a query (e.g. after executing it).  Counts
+    for patterns already inside the lattice are not cached — the summary
+    has them exactly.  Raises [Invalid_argument] on a negative count. *)
+
+val observe_exact : t -> Tl_twig.Twig.t -> int
+(** Compute the exact count against the base document, record it, and
+    return it — the "execute the query, learn from the answer" loop. *)
+
+val cached_patterns : t -> int
+
+val hit_count : t -> int
+(** Number of estimate-time lookups answered by the cache so far. *)

@@ -1,0 +1,27 @@
+module Twig = Tl_twig.Twig
+module Summary = Tl_lattice.Summary
+
+let prune ?(scheme = Estimator.Recursive) summary ~delta =
+  if delta < 0.0 then invalid_arg "Derivable.prune: delta must be >= 0";
+  let k = Summary.k summary in
+  let kept = ref (Summary.level summary 1 @ Summary.level summary 2) in
+  let pruned_any = ref false in
+  for size = 3 to k do
+    (* Estimate against the pruned summary built so far (marked incomplete
+       so misses decompose rather than read as zero). *)
+    let so_far = Summary.of_patterns ~k ~complete:false !kept in
+    List.iter
+      (fun (twig, count) ->
+        let estimated = Estimator.estimate so_far scheme twig in
+        let err = Float.abs (float_of_int count -. estimated) /. float_of_int (max count 1) in
+        (* The small epsilon absorbs floating-point noise so that exactly
+           derivable patterns register as 0-derivable. *)
+        if err > delta +. 1e-9 then kept := (twig, count) :: !kept else pruned_any := true)
+      (Summary.level summary size)
+  done;
+  Summary.of_patterns ~k ~complete:(Summary.is_complete summary && not !pruned_any) !kept
+
+let savings ?scheme summary ~delta =
+  let before = Summary.memory_bytes summary in
+  let after = Summary.memory_bytes (prune ?scheme summary ~delta) in
+  (before, after)

@@ -1,0 +1,27 @@
+(** δ-derivable pattern pruning (§4.3, Fig. 6).
+
+    A pattern is δ-derivable when the estimate TreeLattice would produce for
+    it {e without} its stored count is within relative error δ of its true
+    count (Definition 2).  Such patterns add nothing to estimation quality
+    and can be dropped to free summary space — losslessly when δ = 0
+    (Lemma 5), or trading accuracy for space when δ > 0.
+
+    Pruning proceeds level by level from size 3 upward, always estimating
+    against the summary kept {e so far}, exactly as in Fig. 6; levels 1 and
+    2 are never pruned (they anchor the decomposition recursion). *)
+
+val prune :
+  ?scheme:Estimator.scheme -> Tl_lattice.Summary.t -> delta:float -> Tl_lattice.Summary.t
+(** [prune summary ~delta] with [delta] a relative-error tolerance
+    (0.1 = 10%).  Raises [Invalid_argument] when [delta < 0].  The result
+    is marked incomplete unless nothing was pruned, so estimators fall back
+    to decomposition on misses.
+
+    [scheme] (default [Recursive]) is the estimator derivability is judged
+    against; Lemma 5's losslessness at [delta = 0] holds exactly when later
+    estimation uses the {e same} scheme — a pattern that is derivable under
+    one decomposition order need not be under another. *)
+
+val savings :
+  ?scheme:Estimator.scheme -> Tl_lattice.Summary.t -> delta:float -> int * int
+(** [(bytes_before, bytes_after)] of pruning, for Fig. 10(a)/(c). *)

@@ -1,0 +1,290 @@
+module Twig = Tl_twig.Twig
+module Summary = Tl_lattice.Summary
+
+type scheme =
+  | Recursive
+  | Recursive_voting
+  | Fixed_size
+  | Fixed_size_voting of int
+
+let all_schemes = [ Recursive; Recursive_voting; Fixed_size; Fixed_size_voting 8 ]
+
+let scheme_name = function
+  | Recursive -> "recursive"
+  | Recursive_voting -> "recursive+voting"
+  | Fixed_size -> "fixed-size"
+  | Fixed_size_voting n -> Printf.sprintf "fixed-size+voting(%d)" n
+
+(* --- recursive decomposition (Fig. 4) ---------------------------------- *)
+
+let unordered_pairs xs =
+  let rec go = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> (x, y)) rest @ go rest
+  in
+  go xs
+
+(* All node indices except the listed ones. *)
+let nodes_except (ix : Twig.indexed) dropped =
+  let n = Array.length ix.node_labels in
+  let rec collect i acc =
+    if i < 0 then acc else collect (i - 1) (if List.mem i dropped then acc else i :: acc)
+  in
+  collect (n - 1) []
+
+(* [extra] is an auxiliary exact-count source consulted before the summary
+   (the workload-adaptive cache of {!Adaptive}); [fun _ -> None] for the
+   plain estimators. *)
+let recursive_estimate ?(extra = fun _ -> None) ~voting summary twig =
+  let memo : (string, float) Hashtbl.t = Hashtbl.create 64 in
+  let complete = Summary.is_complete summary in
+  let k = Summary.k summary in
+  let rec est twig =
+    let key = Twig.encode twig in
+    match Hashtbl.find_opt memo key with
+    | Some v -> v
+    | None ->
+      let v = compute twig key in
+      Hashtbl.replace memo key v;
+      v
+  and compute twig key =
+    match (extra key : float option) with
+    | Some known -> known
+    | None ->
+    match Summary.find_encoded summary key with
+    | Some count -> float_of_int count
+    | None ->
+      let n = Twig.size twig in
+      (* Levels 1 and 2 are complete in every summary (pruning keeps them),
+         so a miss there is a true zero; likewise any level <= k of a
+         complete summary. *)
+      if n <= 2 || (complete && n <= k) then 0.0
+      else begin
+        let ix = Twig.index twig in
+        let removable = Twig.degree_one ix in
+        let pairs = unordered_pairs removable in
+        let pairs =
+          match (voting, pairs) with
+          | true, _ | _, [] -> pairs
+          | false, first :: _ -> [ first ]
+        in
+        let value_of (u, u') =
+          let t1 = Twig.induced ix (nodes_except ix [ u ]) in
+          let t2 = Twig.induced ix (nodes_except ix [ u' ]) in
+          let e1 = est t1 in
+          if e1 = 0.0 then 0.0
+          else begin
+            let e2 = est t2 in
+            if e2 = 0.0 then 0.0
+            else begin
+              let cap = Twig.induced ix (nodes_except ix [ u; u' ]) in
+              let ec = est cap in
+              if ec <= 0.0 then 0.0
+              else begin
+                (* Theorem 1 assumes the two grown edges are distinct.  When
+                   u and u' are same-labeled siblings the two edges are the
+                   SAME edge type, and matches must place them injectively:
+                   a T-intersection match with i candidate children yields
+                   i*(i-1) ordered pairs, not i^2, so the expectation gets
+                   an injectivity correction of -E[i] per match:
+                   sigma(T) ~ sigma(T1)^2/sigma(Tcap) - sigma(T1). *)
+                let twin_edges =
+                  ix.parents.(u) >= 0
+                  && ix.parents.(u) = ix.parents.(u')
+                  && ix.node_labels.(u) = ix.node_labels.(u')
+                in
+                if twin_edges then Float.max 0.0 ((e1 *. e2 /. ec) -. e1)
+                else e1 *. e2 /. ec
+              end
+            end
+          end
+        in
+        match pairs with
+        | [] -> 0.0 (* unreachable: any twig of size >= 2 has two degree-1 nodes *)
+        | _ ->
+          let total = List.fold_left (fun acc pair -> acc +. value_of pair) 0.0 pairs in
+          total /. float_of_int (List.length pairs)
+      end
+  in
+  est twig
+
+(* --- fixed-size decomposition (Fig. 5) --------------------------------- *)
+
+(* Build one cover of [twig]'s nodes by k-subtrees.  [choose] picks among
+   the eligible fill nodes when the ancestor chain of the newly covered node
+   is shorter than k-1 (deterministic: smallest preorder index).
+
+   Each non-first step also records its injectivity debt [twins]: the number
+   of already-covered nodes outside the overlap that share the new node's
+   (parent, label) edge.  The chain-rule ratio sigma(B)/sigma(I) estimates
+   the expected number of such children {e given} the overlap context, but
+   [twins] of them are already consumed by earlier steps and cannot host the
+   new node injectively, so the estimator subtracts them (the fixed-size
+   analogue of the recursive scheme's twin-edge correction). *)
+let cover_with ~choose (ix : Twig.indexed) ~k =
+  let n = Array.length ix.node_labels in
+  assert (n > k);
+  let prefix = List.init k (fun i -> i) in
+  let first = (Twig.induced ix prefix, None, 0) in
+  let rest = ref [] in
+  for i = k to n - 1 do
+    let in_overlap = Array.make n false in
+    let overlap_size = ref 0 in
+    let add j =
+      if not in_overlap.(j) then begin
+        in_overlap.(j) <- true;
+        incr overlap_size
+      end
+    in
+    (* Ancestor chain of i first: everything before i in preorder is already
+       covered, so any node < i is fair game. *)
+    let rec climb j = if j >= 0 && !overlap_size < k - 1 then begin add j; climb ix.parents.(j) end in
+    climb ix.parents.(i);
+    (* Fill with covered nodes adjacent to the overlap. *)
+    while !overlap_size < k - 1 do
+      let eligible = ref [] in
+      for j = i - 1 downto 0 do
+        if (not in_overlap.(j)) && ix.parents.(j) >= 0 && in_overlap.(ix.parents.(j)) then
+          eligible := j :: !eligible
+      done;
+      match !eligible with
+      | [] ->
+        (* Cannot happen: the covered prefix {0..i-1} is connected and has
+           at least k-1 > overlap nodes. *)
+        invalid_arg "Estimator.cover: internal cover construction failure"
+      | candidates -> add (choose candidates)
+    done;
+    let overlap_nodes = List.filter (fun j -> in_overlap.(j)) (List.init n (fun j -> j)) in
+    let twins = ref 0 in
+    for j = 0 to i - 1 do
+      if
+        (not in_overlap.(j))
+        && ix.parents.(j) = ix.parents.(i)
+        && ix.node_labels.(j) = ix.node_labels.(i)
+      then incr twins
+    done;
+    let block = Twig.induced ix (i :: overlap_nodes) in
+    let overlap = Twig.induced ix overlap_nodes in
+    rest := (block, Some overlap, !twins) :: !rest
+  done;
+  first :: List.rev !rest
+
+let cover twig ~k =
+  let twig = Twig.canonicalize twig in
+  if Twig.size twig <= k then invalid_arg "Estimator.cover: twig not larger than k";
+  List.map (fun (b, o, _) -> (b, o)) (cover_with ~choose:List.hd (Twig.index twig) ~k)
+
+(* Stored count of a small pattern, falling back to recursive decomposition
+   when a pruned summary no longer holds it (keeps Lemma 5). *)
+let small_estimate ?(extra = fun _ -> None) summary twig =
+  match extra (Twig.encode twig) with
+  | Some known -> known
+  | None -> (
+    match Summary.find summary twig with
+    | Some c -> float_of_int c
+    | None ->
+      if Summary.is_complete summary then 0.0
+      else recursive_estimate ~extra ~voting:false summary twig)
+
+let estimate_of_cover ?extra summary blocks =
+  let rec go acc = function
+    | [] -> acc
+    | (block, overlap, twins) :: rest ->
+      if acc = 0.0 then 0.0
+      else begin
+        let num = small_estimate ?extra summary block in
+        if num = 0.0 then 0.0
+        else begin
+          match overlap with
+          | None -> go (acc *. num) rest
+          | Some i ->
+            let den = small_estimate ?extra summary i in
+            if den <= 0.0 then 0.0
+            else begin
+              let multiplier = (num /. den) -. float_of_int twins in
+              if multiplier <= 0.0 then 0.0 else go (acc *. multiplier) rest
+            end
+        end
+      end
+  in
+  go 1.0 blocks
+
+let fixed_size_estimate ?extra ?samples summary twig =
+  let k = Summary.k summary in
+  let twig = Twig.canonicalize twig in
+  if Twig.size twig <= k then small_estimate ?extra summary twig
+  else begin
+    let ix = Twig.index twig in
+    match samples with
+    | None -> estimate_of_cover ?extra summary (cover_with ~choose:List.hd ix ~k)
+    | Some count ->
+      let count = max 1 count in
+      (* Deterministic seed per query so estimates are reproducible. *)
+      let rng = Tl_util.Xorshift.create (Twig.hash twig) in
+      let one () =
+        let choose candidates = List.nth candidates (Tl_util.Xorshift.int rng (List.length candidates)) in
+        estimate_of_cover ?extra summary (cover_with ~choose ix ~k)
+      in
+      let total = ref 0.0 in
+      for _ = 1 to count do
+        total := !total +. one ()
+      done;
+      !total /. float_of_int count
+  end
+
+let first_level_votes summary twig =
+  let twig = Twig.canonicalize twig in
+  match Summary.find summary twig with
+  | Some count -> [ float_of_int count ]
+  | None ->
+    let n = Twig.size twig in
+    if n <= 2 || (Summary.is_complete summary && n <= Summary.k summary) then [ 0.0 ]
+    else begin
+      let ix = Twig.index twig in
+      let pairs = unordered_pairs (Twig.degree_one ix) in
+      (* Each vote resolves its sub-estimates deterministically, isolating
+         the effect of the top-level pair choice. *)
+      List.map
+        (fun (u, u') ->
+          let t1 = Twig.induced ix (nodes_except ix [ u ]) in
+          let t2 = Twig.induced ix (nodes_except ix [ u' ]) in
+          let cap = Twig.induced ix (nodes_except ix [ u; u' ]) in
+          let e1 = recursive_estimate ~voting:false summary t1 in
+          let e2 = recursive_estimate ~voting:false summary t2 in
+          let ec = recursive_estimate ~voting:false summary cap in
+          if e1 = 0.0 || e2 = 0.0 || ec <= 0.0 then 0.0
+          else begin
+            let twin_edges =
+              ix.parents.(u) >= 0
+              && ix.parents.(u) = ix.parents.(u')
+              && ix.node_labels.(u) = ix.node_labels.(u')
+            in
+            if twin_edges then Float.max 0.0 ((e1 *. e2 /. ec) -. e1) else e1 *. e2 /. ec
+          end)
+        pairs
+    end
+
+type interval = { low : float; best : float; high : float }
+
+let estimate_interval summary twig =
+  let twig = Twig.canonicalize twig in
+  let votes = Array.of_list (first_level_votes summary twig) in
+  let best = recursive_estimate ~voting:true summary twig in
+  if Array.length votes = 0 then { low = best; best; high = best }
+  else
+    {
+      (* Votes resolve sub-estimates deterministically while [best] votes at
+         every level, so [best] can land slightly outside the raw vote
+         spread; the interval always contains it. *)
+      low = Float.min best (Tl_util.Stats.minimum votes);
+      best;
+      high = Float.max best (Tl_util.Stats.maximum votes);
+    }
+
+let estimate ?extra summary scheme twig =
+  let twig = Twig.canonicalize twig in
+  match scheme with
+  | Recursive -> recursive_estimate ?extra ~voting:false summary twig
+  | Recursive_voting -> recursive_estimate ?extra ~voting:true summary twig
+  | Fixed_size -> fixed_size_estimate ?extra summary twig
+  | Fixed_size_voting samples -> fixed_size_estimate ?extra ~samples summary twig

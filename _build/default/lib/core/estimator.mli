@@ -1,0 +1,71 @@
+(** The decomposition-based selectivity estimators (§3).
+
+    Both schemes estimate the selectivity of a twig [T] that is larger than
+    the lattice depth [k] by expressing it through lattice-resident
+    subtwigs under the tree-growing conditional-independence assumption
+    (Theorem 1):
+
+    {v sigma(T1 + T2) ~ sigma(T1) * sigma(T2) / sigma(T1 n T2) v}
+
+    - {e Recursive decomposition} (Fig. 4): remove one of two degree-1
+      nodes, recurse on the two (n-1)-node subtwigs and their common
+      (n-2)-node part, down to the brim of the lattice.
+    - {e Fixed-size decomposition} (Fig. 5, Lemma 3): cover [T] with
+      [n - k + 1] k-subtrees overlapping on (k-1)-subtrees in one preorder
+      sweep, then multiply/divide their stored counts.
+    - {e Voting} (§3.2): at every recursive step, average the estimates
+      over all admissible leaf-pair choices; for the fixed-size scheme,
+      average over several randomized covers.
+
+    Estimates are exact for any pattern stored in the summary.  With a
+    {e pruned} summary a missing small pattern is transparently
+    re-estimated by recursive decomposition, which is what makes
+    0-derivable pruning lossless (Lemma 5). *)
+
+type scheme =
+  | Recursive  (** deterministic leaf-pair choice *)
+  | Recursive_voting  (** average over all leaf pairs at every level *)
+  | Fixed_size  (** deterministic preorder cover *)
+  | Fixed_size_voting of int
+      (** average over this many randomized covers (>= 1); seeded
+          deterministically from the query *)
+
+val all_schemes : scheme list
+(** The four schemes with [Fixed_size_voting 8]. *)
+
+val scheme_name : scheme -> string
+
+val estimate :
+  ?extra:(string -> float option) -> Tl_lattice.Summary.t -> scheme -> Tl_twig.Twig.t -> float
+(** Estimated selectivity (>= 0, fractional in general).  Exact lookups are
+    returned as-is; a twig whose label set cannot occur estimates to 0.
+
+    [extra] is an auxiliary count source keyed by canonical twig encoding,
+    consulted {e before} the summary at every lookup (including the
+    sub-twig lookups inside a decomposition).  {!Adaptive} uses it to let
+    workload-observed exact counts anchor future decompositions. *)
+
+val first_level_votes : Tl_lattice.Summary.t -> Tl_twig.Twig.t -> float list
+(** The estimates contributed by each admissible leaf-pair choice at the
+    {e top} level of the recursive decomposition, with sub-estimates
+    resolved deterministically.  A singleton for lattice-resident twigs.
+    This isolates the sensitivity of the scheme to the pair choice — the
+    quantity the voting extension averages away (used by the pair-choice
+    ablation). *)
+
+type interval = { low : float; best : float; high : float }
+(** A sensitivity interval around an estimate. *)
+
+val estimate_interval : Tl_lattice.Summary.t -> Tl_twig.Twig.t -> interval
+(** [best] is the voting estimate; [low]/[high] bound the spread of the
+    admissible top-level decompositions ({!first_level_votes}).  The paper
+    lists a formal error bound as future work; this interval is the
+    practical proxy — when all decompositions agree the independence
+    assumption is locally consistent and the estimate is trustworthy, and
+    a wide interval flags correlation.  Lattice-resident twigs collapse to
+    a point (the count is exact). *)
+
+val cover : Tl_twig.Twig.t -> k:int -> (Tl_twig.Twig.t * Tl_twig.Twig.t option) list
+(** The deterministic fixed-size cover of a twig of size [> k]: the list
+    [(B1, None); (B2, Some I2); ...] of k-subtrees with their (k-1)-subtree
+    overlaps, per Lemma 2.  Exposed for tests and the worked examples. *)

@@ -1,0 +1,34 @@
+module Twig = Tl_twig.Twig
+module Summary = Tl_lattice.Summary
+
+let path_count summary labels =
+  match Summary.find summary (Twig.of_path labels) with
+  | Some c -> float_of_int c
+  | None -> if Summary.is_complete summary then 0.0 else Estimator.estimate summary Recursive (Twig.of_path labels)
+
+let rec take n = function [] -> [] | _ when n = 0 -> [] | x :: rest -> x :: take (n - 1) rest
+
+let rec drop n xs = if n <= 0 then xs else match xs with [] -> [] | _ :: rest -> drop (n - 1) rest
+
+let estimate summary labels =
+  (match labels with [] -> invalid_arg "Markov_path.estimate: empty path" | _ -> ());
+  let m = Summary.k summary in
+  let n = List.length labels in
+  if n <= m then path_count summary labels
+  else begin
+    let window i len = take len (drop i labels) in
+    let first = path_count summary (window 0 m) in
+    let rec go i acc =
+      if i > n - m then acc
+      else if acc = 0.0 then 0.0
+      else begin
+        let num = path_count summary (window i m) in
+        let den = path_count summary (window i (m - 1)) in
+        if den <= 0.0 then 0.0 else go (i + 1) (acc *. num /. den)
+      end
+    in
+    go 1 first
+  end
+
+let estimate_twig summary twig =
+  Option.map (estimate summary) (Twig.path_labels twig)

@@ -1,0 +1,21 @@
+(** Markov-model path selectivity estimation (§3.4, Lemma 4).
+
+    For a path query [l1/l2/.../ln] and an [m]-lattice, the classic Markov
+    estimator of Lore / Markov tables / XPathLearner is
+
+    {v
+      f(l1..lm) * prod_{i=2}^{n-m+1} f(li..l(i+m-1)) / f(li..l(i+m-2))
+    v}
+
+    Lemma 4 proves both decomposition schemes reduce to exactly this formula
+    on path queries; this module implements the formula directly so the
+    equivalence can be checked (and so path queries can be answered without
+    general twig machinery). *)
+
+val estimate : Tl_lattice.Summary.t -> int list -> float
+(** [estimate summary labels] for the root-to-leaf label sequence of a path
+    query.  Raises [Invalid_argument] on an empty list.  Paths no longer
+    than the lattice depth are direct lookups. *)
+
+val estimate_twig : Tl_lattice.Summary.t -> Tl_twig.Twig.t -> float option
+(** [None] when the twig is not a path. *)

@@ -1,0 +1,84 @@
+(** TreeLattice: the public front-end of the library.
+
+    A [Treelattice.t] ties together a data tree, its lattice summary, and
+    an exact-counting context, and answers selectivity queries written
+    either as {!Tl_twig.Twig.t} values or in the textual twig syntax
+    ([laptop(brand,price)]).
+
+    Typical use:
+    {[
+      let doc = Tl_xml.Xml_dom.parse_file "auction.xml" in
+      let tree = Tl_tree.Data_tree.of_xml doc in
+      let tl = Treelattice.build ~k:4 tree in
+      match Treelattice.estimate_string tl "laptop(brand,price)" with
+      | Ok estimate -> Printf.printf "~%.1f matches\n" estimate
+      | Error msg -> prerr_endline msg
+    ]} *)
+
+type t
+
+val build : ?k:int -> Tl_tree.Data_tree.t -> t
+(** Mine the document into a [k]-lattice (default 4) and wrap it. *)
+
+val of_summary : Tl_tree.Data_tree.t -> Tl_lattice.Summary.t -> t
+(** Wrap a pre-built (possibly pruned or merged) summary.  The summary's
+    label ids must come from [tree]'s interner. *)
+
+val tree : t -> Tl_tree.Data_tree.t
+
+val summary : t -> Tl_lattice.Summary.t
+
+val k : t -> int
+
+val default_scheme : Estimator.scheme
+(** [Estimator.Recursive_voting] — the paper's best performer overall. *)
+
+val estimate : ?scheme:Estimator.scheme -> t -> Tl_twig.Twig.t -> float
+(** Estimated selectivity of the twig. *)
+
+val estimate_interval : t -> Tl_twig.Twig.t -> Estimator.interval
+(** The voting estimate with its decomposition-spread sensitivity interval
+    (see {!Estimator.estimate_interval}). *)
+
+val exact : t -> Tl_twig.Twig.t -> int
+(** Exact selectivity, by full twig matching over the document. *)
+
+val parse_query : t -> string -> (Tl_twig.Twig.t, string) result
+(** Parse the textual syntax against the document's tags.  A syntactically
+    valid query naming a tag absent from the document is {e not} an error:
+    it parses to a twig that trivially has selectivity 0, mirroring how an
+    estimator must handle negative workloads.  [Error] is reserved for
+    syntax errors. *)
+
+val estimate_string : ?scheme:Estimator.scheme -> t -> string -> (float, string) result
+
+val exact_string : t -> string -> (int, string) result
+
+val pp_twig : t -> Tl_twig.Twig.t -> string
+(** Render a twig with the document's tag names. *)
+
+val parse_xpath : t -> string -> (bool * Tl_twig.Twig.t, string) result
+(** Parse the supported XPath fragment (see {!Tl_twig.Xpath}); the boolean
+    is the anchored flag ([/site/...] vs [//site/...]). *)
+
+val estimate_xpath : ?scheme:Estimator.scheme -> t -> string -> (float, string) result
+(** Estimate an XPath query.  Anchored queries whose first tag is not the
+    document root estimate to 0; anchored queries on the root tag divide by
+    the tag's occurrence count (exact whenever the root tag occurs once,
+    the normal case). *)
+
+val exact_xpath : t -> string -> (int, string) result
+(** Exact count of an XPath query; anchoring is honoured exactly (matches
+    rooted at the document root only). *)
+
+val prune : ?scheme:Estimator.scheme -> t -> delta:float -> t
+(** Replace the summary with its δ-pruned version (see {!Derivable});
+    for lossless δ=0 pruning, pass the scheme you will estimate with. *)
+
+val add_document : t -> Tl_tree.Data_tree.t -> t
+(** Incremental maintenance: fold another document's statistics into the
+    summary.  The new document is re-labeled into this instance's label
+    space by tag name (new tags are added); exact counting still runs
+    against the original tree only.  Counts become forest-level statistics
+    — the sum over both documents — matching what mining the concatenated
+    forest would produce. *)

@@ -1,0 +1,1 @@
+lib/datasets/dataset.ml: Imdb List Nasa Psd String Tl_tree Tl_xml Xmark

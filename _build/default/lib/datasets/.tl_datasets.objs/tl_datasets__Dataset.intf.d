@@ -1,0 +1,1 @@
+lib/datasets/dataset.mli: Tl_tree Tl_xml

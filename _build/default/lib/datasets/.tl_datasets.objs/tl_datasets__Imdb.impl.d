@@ -1,0 +1,1 @@
+lib/datasets/imdb.ml: Schema

@@ -1,0 +1,1 @@
+lib/datasets/imdb.mli: Tl_xml

@@ -1,0 +1,1 @@
+lib/datasets/nasa.ml: Schema

@@ -1,0 +1,1 @@
+lib/datasets/psd.ml: Schema

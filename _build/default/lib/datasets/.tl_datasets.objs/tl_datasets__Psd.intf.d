@@ -1,0 +1,1 @@
+lib/datasets/psd.mli: Tl_xml

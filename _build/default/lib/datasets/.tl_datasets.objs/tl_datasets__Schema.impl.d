@@ -1,0 +1,1 @@
+lib/datasets/schema.ml: Array List Tl_util Tl_xml

@@ -1,0 +1,1 @@
+lib/datasets/schema.mli: Tl_util Tl_xml

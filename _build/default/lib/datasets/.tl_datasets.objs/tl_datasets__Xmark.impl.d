@@ -1,0 +1,1 @@
+lib/datasets/xmark.ml: List Schema Tl_util Tl_xml

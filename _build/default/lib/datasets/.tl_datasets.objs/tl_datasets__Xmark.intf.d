@@ -1,0 +1,1 @@
+lib/datasets/xmark.mli: Tl_xml

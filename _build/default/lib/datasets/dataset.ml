@@ -1,0 +1,51 @@
+type t = {
+  name : string;
+  description : string;
+  paper_elements : int;
+  paper_size_mb : float;
+  document : target:int -> seed:int -> Tl_xml.Xml_dom.element;
+}
+
+let nasa =
+  {
+    name = "nasa";
+    description = "astronomical dataset catalogue (deep records, weak correlation)";
+    paper_elements = 476646;
+    paper_size_mb = 23.0;
+    document = Nasa.document;
+  }
+
+let imdb =
+  {
+    name = "imdb";
+    description = "movie database (wide optional containers, strong correlation)";
+    paper_elements = 155898;
+    paper_size_mb = 7.0;
+    document = Imdb.document;
+  }
+
+let psd =
+  {
+    name = "psd";
+    description = "protein sequence database (wide shallow records)";
+    paper_elements = 242014;
+    paper_size_mb = 4.5;
+    document = Psd.document;
+  }
+
+let xmark =
+  {
+    name = "xmark";
+    description = "auction site benchmark (skewed fan-outs)";
+    paper_elements = 565505;
+    paper_size_mb = 10.0;
+    document = Xmark.document;
+  }
+
+let all = [ nasa; imdb; xmark; psd ]
+
+let find name =
+  let lowered = String.lowercase_ascii name in
+  List.find_opt (fun d -> String.equal d.name lowered) all
+
+let tree d ~target ~seed = Tl_tree.Data_tree.of_element (d.document ~target ~seed)

@@ -1,0 +1,31 @@
+(** The four evaluation datasets (Table 1), unified.
+
+    Each entry records the real dataset's characteristics from the paper
+    alongside a generator for its synthetic stand-in (the real files are
+    not redistributable / available offline; DESIGN.md §3 documents the
+    substitutions). *)
+
+type t = {
+  name : string;  (** "nasa", "imdb", "psd", "xmark" *)
+  description : string;
+  paper_elements : int;  (** Table 1 "Elements" *)
+  paper_size_mb : float;  (** Table 1 "File Size (MB)" *)
+  document : target:int -> seed:int -> Tl_xml.Xml_dom.element;
+}
+
+val nasa : t
+
+val imdb : t
+
+val psd : t
+
+val xmark : t
+
+val all : t list
+(** In the paper's Table 1 order: nasa, imdb, xmark, psd. *)
+
+val find : string -> t option
+(** Case-insensitive lookup by name. *)
+
+val tree : t -> target:int -> seed:int -> Tl_tree.Data_tree.t
+(** Generate and convert in one step. *)

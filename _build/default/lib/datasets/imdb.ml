@@ -1,0 +1,130 @@
+open Schema
+
+let named tag = elem tag [ one (leaf "name") ]
+
+let actor = elem "actor" [ one (leaf "name"); opt 0.6 (leaf "role") ]
+
+let cast count = elem "cast" [ repeat count actor ]
+
+let listing tag item count = elem tag [ repeat count item ]
+
+let genres = listing "genres" (leaf "genre") (Shifted (1, Geometric (0.6, 4)))
+
+let directors = listing "directors" (named "director") (Shifted (1, Geometric (0.75, 3)))
+
+let writers = listing "writers" (named "writer") (Shifted (1, Geometric (0.6, 4)))
+
+let producers = listing "producers" (named "producer") (Shifted (1, Geometric (0.5, 6)))
+
+let composers = listing "composers" (named "composer") (Const 1)
+
+let editors = listing "editors" (named "editor") (Const 1)
+
+let cinematographers = listing "cinematographers" (named "cinematographer") (Const 1)
+
+let distributors = listing "distributors" (named "distributor") (Shifted (1, Geometric (0.5, 5)))
+
+let countries = listing "countries" (leaf "country") (Shifted (1, Geometric (0.65, 4)))
+
+let languages = listing "languages" (leaf "language") (Shifted (1, Geometric (0.7, 3)))
+
+let keywords = listing "keywords" (leaf "keyword") (Shifted (2, Geometric (0.35, 20)))
+
+let locations = listing "locations" (leaf "location") (Shifted (1, Geometric (0.45, 8)))
+
+let business =
+  elem "business" [ one (leaf "budget"); opt 0.8 (leaf "gross"); opt 0.5 (leaf "opening") ]
+
+let release = elem "release" [ opt 0.7 (leaf "country"); one (leaf "date") ]
+
+let releasedates = listing "releasedates" release (Shifted (1, Geometric (0.4, 12)))
+
+let ratings = elem "ratings" [ one (leaf "rating"); one (leaf "votes") ]
+
+let award = elem "award" [ one (leaf "category"); one (leaf "result") ]
+
+let awards = listing "awards" award (Shifted (1, Geometric (0.4, 10)))
+
+let trivia = listing "trivia" (leaf "trivium") (Shifted (1, Geometric (0.4, 10)))
+
+let goofs = listing "goofs" (leaf "goof") (Shifted (1, Geometric (0.5, 6)))
+
+let quotes = listing "quotes" (leaf "quote") (Shifted (1, Geometric (0.5, 8)))
+
+let soundtracks = listing "soundtracks" (leaf "song") (Shifted (1, Geometric (0.45, 8)))
+
+let alternateversions = listing "alternateversions" (leaf "version") (Shifted (1, Geometric (0.6, 4)))
+
+let connections = listing "connections" (leaf "connection") (Shifted (1, Geometric (0.5, 6)))
+
+let literature =
+  elem "literature" [ repeat (Geometric (0.5, 4)) (leaf "book"); repeat (Geometric (0.4, 5)) (leaf "article") ]
+
+let certificates = listing "certificates" (leaf "certificate") (Shifted (1, Geometric (0.6, 4)))
+
+let runtimes = listing "runtimes" (leaf "runtime") (Const 1)
+
+let akas = listing "akas" (leaf "aka") (Shifted (1, Geometric (0.5, 5)))
+
+(* Feature bundles per movie tier.  Everything inside one [group] co-occurs,
+   which is the modeled correlation. *)
+let blockbuster_bundle =
+  group
+    [
+      one (cast (Shifted (8, Geometric (0.2, 40))));
+      one business;
+      one ratings;
+      one awards;
+      one distributors;
+      one releasedates;
+      one locations;
+      one keywords;
+      opt 0.8 trivia;
+      opt 0.7 goofs;
+      opt 0.7 quotes;
+      opt 0.6 soundtracks;
+      opt 0.5 connections;
+      opt 0.4 literature;
+      opt 0.5 alternateversions;
+      opt 0.7 certificates;
+      opt 0.6 akas;
+    ]
+
+let regular_bundle =
+  group
+    [
+      one (cast (Shifted (2, Geometric (0.35, 15))));
+      opt 0.5 ratings;
+      opt 0.35 business;
+      opt 0.4 releasedates;
+      opt 0.35 distributors;
+      opt 0.3 keywords;
+      opt 0.25 locations;
+      opt 0.2 trivia;
+      opt 0.15 awards;
+      opt 0.2 certificates;
+      opt 0.25 akas;
+    ]
+
+let obscure_bundle = group [ opt 0.3 (cast (Shifted (1, Geometric (0.7, 4)))) ]
+
+let movie =
+  elem "movie"
+    [
+      one (leaf "title");
+      one (leaf "year");
+      one genres;
+      one directors;
+      opt 0.7 writers;
+      opt 0.5 producers;
+      opt 0.4 composers;
+      opt 0.4 editors;
+      opt 0.35 cinematographers;
+      opt 0.8 countries;
+      opt 0.7 languages;
+      opt 0.5 runtimes;
+      cond 0.12 ~then_:blockbuster_bundle
+        ~else_:(cond 0.5 ~then_:regular_bundle ~else_:obscure_bundle);
+    ]
+
+let document ~target ~seed = generate_document ~root:"imdb" ~record:movie ~target ~seed ()

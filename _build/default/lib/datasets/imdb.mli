@@ -1,0 +1,14 @@
+(** Synthetic IMDB-like movie documents.
+
+    The real IMDB dataset (7 MB, 155,898 elements) is the one evaluation
+    dataset where the paper's conditional-independence assumption breaks
+    down: which sub-elements a movie carries is strongly correlated (a
+    heavily documented blockbuster has cast {e and} business figures {e and}
+    awards; an obscure title has almost nothing).  This generator makes the
+    correlation explicit with a three-tier movie population
+    (blockbuster / regular / obscure) whose feature bundles co-occur, plus a
+    wide (~70-tag) alphabet of optional containers under [movie] — the
+    combinatorics behind IMDB's exploding subtree-pattern counts in
+    Table 2. *)
+
+val document : target:int -> seed:int -> Tl_xml.Xml_dom.element

@@ -1,0 +1,67 @@
+open Schema
+
+let author =
+  elem "author" [ opt 0.6 (leaf "initial"); one (leaf "lastname"); opt 0.8 (leaf "firstname") ]
+
+let para = elem "para" [ opt 0.1 (leaf "footnote") ]
+
+let journal_source =
+  elem "journal"
+    [ one (leaf "name"); repeat (Geometric (0.5, 5)) author; opt 0.5 (leaf "volume"); opt 0.6 (leaf "pages") ]
+
+let book_source =
+  elem "book" [ one (leaf "title"); repeat (Geometric (0.6, 4)) author; opt 0.6 (leaf "publisher"); opt 0.4 (leaf "city") ]
+
+let other_source = elem "other" [ one (leaf "name") ]
+
+let reference =
+  elem "reference"
+    [
+      one (elem "source" [ choice [ (journal_source, 0.6); (book_source, 0.25); (other_source, 0.15) ] ]);
+      one (elem "date" [ one (leaf "year"); opt 0.5 (leaf "month"); opt 0.2 (leaf "day") ]);
+      opt 0.4 (leaf "cite");
+    ]
+
+let field =
+  elem "field" [ one (leaf "name"); opt 0.6 (leaf "definition"); opt 0.3 (leaf "units") ]
+
+let table_head =
+  elem "tableHead"
+    [
+      opt 0.4 (elem "tableLinks" [ repeat (Geometric (0.5, 6)) (leaf "tableLink") ]);
+      one (elem "fields" [ repeat (Shifted (2, Geometric (0.35, 18))) field ]);
+    ]
+
+let revision =
+  elem "revision" [ one (leaf "revisionDate"); one author ]
+
+let history =
+  elem "history"
+    [
+      one (elem "ingest" [ one (leaf "creationDate"); opt 0.5 (leaf "creator") ]);
+      opt 0.6 (elem "revisions" [ repeat (Geometric (0.55, 8)) revision ]);
+    ]
+
+let descriptions =
+  elem "descriptions"
+    [ one (elem "description" [ repeat (Shifted (1, Geometric (0.5, 6))) para; opt 0.3 (leaf "details") ]) ]
+
+let dataset =
+  elem "dataset"
+    [
+      one (leaf "identifier");
+      one (elem "title" []);
+      repeat (Geometric (0.7, 4)) (elem "altname" [ opt 0.5 (leaf "prefix") ]);
+      opt 0.8 (elem "abstract" [ repeat (Shifted (1, Geometric (0.55, 5))) para ]);
+      opt 0.6 (elem "keywords" [ repeat (Shifted (1, Geometric (0.45, 10))) (leaf "keyword") ]);
+      repeat (Shifted (1, Geometric (0.5, 6))) author;
+      repeat (Geometric (0.45, 10)) reference;
+      opt 0.7 table_head;
+      opt 0.75 history;
+      opt 0.5 descriptions;
+      opt 0.4 (elem "subject" []);
+      opt 0.3 (leaf "altprefix");
+    ]
+
+let document ~target ~seed =
+  generate_document ~root:"datasets" ~record:dataset ~target ~seed ()

@@ -1,0 +1,11 @@
+(** Synthetic NASA-like astronomical metadata documents.
+
+    The real NASA dataset (datasets.xml from the ADC repository, 23 MB,
+    476,646 elements) is a deep catalogue of astronomical dataset records.
+    This generator reproduces its structural profile: a ~60-tag alphabet,
+    records with deep citation/history substructure, moderately long
+    author/field lists, and {e weak} cross-sibling correlation — the regime
+    where the paper finds the conditional-independence assumption (and
+    hence TreeLattice) works best. *)
+
+val document : target:int -> seed:int -> Tl_xml.Xml_dom.element

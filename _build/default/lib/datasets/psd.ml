@@ -1,0 +1,72 @@
+open Schema
+
+let header =
+  elem "header"
+    [
+      one (leaf "uid");
+      repeat (Shifted (1, Geometric (0.6, 5))) (leaf "accession");
+      opt 0.8 (leaf "created_date");
+      opt 0.6 (leaf "seq-rev");
+      opt 0.6 (leaf "txt-rev");
+    ]
+
+let protein =
+  elem "protein"
+    [
+      one (leaf "name");
+      opt 0.5 (elem "classification" [ repeat (Shifted (1, Geometric (0.6, 3))) (leaf "superfamily") ]);
+    ]
+
+let organism =
+  elem "organism"
+    [ one (leaf "source"); opt 0.6 (leaf "common"); opt 0.5 (leaf "formal"); opt 0.15 (leaf "variety") ]
+
+let citation =
+  elem "citation" [ opt 0.8 (leaf "journal"); opt 0.7 (leaf "volume"); one (leaf "year"); opt 0.6 (leaf "pages") ]
+
+let refinfo =
+  elem "refinfo"
+    [
+      one (elem "authors" [ repeat (Shifted (1, Geometric (0.4, 12))) (leaf "author") ]);
+      one citation;
+      opt 0.7 (leaf "title");
+    ]
+
+let accinfo =
+  elem "accinfo" [ one (leaf "accession"); opt 0.6 (leaf "mol-type"); opt 0.5 (leaf "seq-spec") ]
+
+let reference = elem "reference" [ one refinfo; opt 0.6 accinfo ]
+
+let genetics =
+  elem "genetics"
+    [
+      repeat (Geometric (0.55, 4)) (elem "gene" [ one (leaf "gene-name") ]);
+      opt 0.4 (leaf "codon");
+      opt 0.3 (elem "introns" [ repeat (Shifted (1, Geometric (0.5, 6))) (leaf "position") ]);
+    ]
+
+let interval = elem "interval" [ one (leaf "from"); one (leaf "to") ]
+
+let feature =
+  elem "feature"
+    [ one (leaf "type"); opt 0.7 (leaf "description"); opt 0.6 interval; opt 0.3 (leaf "status") ]
+
+let xrefs = elem "xrefs" [ repeat (Shifted (1, Geometric (0.5, 6))) (elem "xref" [ one (leaf "db"); one (leaf "id") ]) ]
+
+let protein_entry =
+  elem "ProteinEntry"
+    [
+      one header;
+      one protein;
+      one organism;
+      repeat (Shifted (1, Geometric (0.45, 8))) reference;
+      opt 0.4 genetics;
+      opt 0.5 (elem "keywords" [ repeat (Shifted (1, Geometric (0.45, 8))) (leaf "keyword") ]);
+      repeat (Geometric (0.4, 10)) feature;
+      opt 0.6 (elem "summary" [ one (leaf "length"); opt 0.7 (leaf "weight") ]);
+      one (leaf "sequence");
+      opt 0.3 xrefs;
+    ]
+
+let document ~target ~seed =
+  generate_document ~root:"ProteinDatabase" ~record:protein_entry ~target ~seed ()

@@ -1,0 +1,10 @@
+(** Synthetic PSD-like (Protein Sequence Database) documents.
+
+    The real PSD dataset (4.5 MB sample, 242,014 elements) holds wide,
+    shallow, functionally annotated protein entries.  The generator
+    reproduces that profile: a ~55-tag alphabet, records dominated by
+    repeated [reference] and [feature] children, and only mild sibling
+    correlation — a regime where the paper finds decomposition estimates
+    accurate for small queries with slow degradation as queries grow. *)
+
+val document : target:int -> seed:int -> Tl_xml.Xml_dom.element

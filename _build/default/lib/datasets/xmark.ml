@@ -1,0 +1,83 @@
+open Schema
+module Xml_dom = Tl_xml.Xml_dom
+module Xorshift = Tl_util.Xorshift
+
+let description = elem "description" [ repeat (Geometric (0.5, 6)) (leaf "text") ]
+
+let item =
+  elem "item"
+    [
+      one (leaf "name");
+      one (leaf "quantity");
+      opt 0.7 description;
+      opt 0.6 (leaf "payment");
+      opt 0.5 (elem "mailbox" [ repeat (Shifted (-1, Zipf (25, 1.4))) (elem "mail" [ opt 0.5 (leaf "text") ]) ]);
+      opt 0.4 (leaf "shipping");
+    ]
+
+let person =
+  elem "person"
+    [
+      one (leaf "name");
+      one (leaf "emailaddress");
+      opt 0.35
+        (elem "watches" [ repeat (Shifted (-1, Zipf (40, 1.35))) (elem "watch" []) ]);
+      opt 0.55 (elem "address" [ one (leaf "street"); one (leaf "city"); one (leaf "country") ]);
+    ]
+
+let bidder = elem "bidder" [ one (leaf "date"); one (leaf "increase") ]
+
+let open_auction =
+  elem "open_auction"
+    [
+      one (leaf "initial");
+      (* The skew that hurts average-based synopses: most auctions attract
+         one or two bidders, a few attract dozens. *)
+      repeat (Shifted (-1, Zipf (60, 1.35))) bidder;
+      one (leaf "current");
+      one (leaf "itemref");
+      one (leaf "seller");
+      opt 0.5 (elem "annotation" [ one description ]);
+    ]
+
+let closed_auction =
+  elem "closed_auction"
+    [
+      one (leaf "seller");
+      one (leaf "buyer");
+      one (leaf "itemref");
+      one (leaf "price");
+      one (leaf "date");
+      opt 0.4 (elem "annotation" [ one description ]);
+    ]
+
+let category = elem "category" [ one (leaf "name"); opt 0.6 description ]
+
+(* XMark has parallel top-level sections, so the document is assembled
+   section by section with fixed node-budget fractions rather than through
+   [Schema.generate_document]. *)
+let document ~target ~seed =
+  let rng = Xorshift.create seed in
+  let fill budget g =
+    let used = ref 0 in
+    let out = ref [] in
+    while !used < budget || !out = [] do
+      let e = g rng in
+      used := !used + element_count e;
+      out := e :: !out
+    done;
+    List.rev !out
+  in
+  let wrap tag children = Xml_dom.element tag (List.map (fun e -> Xml_dom.Element e) children) in
+  let share f = int_of_float (float_of_int target *. f) in
+  let regions =
+    wrap "regions"
+      (List.map
+         (fun (tag, f) -> wrap tag (fill (share f) item))
+         [ ("africa", 0.04); ("asia", 0.08); ("europe", 0.12); ("namerica", 0.12) ])
+  in
+  let people = wrap "people" (fill (share 0.22) person) in
+  let open_auctions = wrap "open_auctions" (fill (share 0.25) open_auction) in
+  let closed_auctions = wrap "closed_auctions" (fill (share 0.09) closed_auction) in
+  let categories = wrap "categories" (fill (share 0.04) category) in
+  wrap "site" [ regions; categories; people; open_auctions; closed_auctions ]

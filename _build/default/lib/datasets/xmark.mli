@@ -1,0 +1,13 @@
+(** Synthetic XMark-like auction documents.
+
+    XMark is itself a synthetic benchmark; this generator re-derives its
+    auction-site schema (regions/items, people, open and closed auctions,
+    categories) from the published DTD, at a configurable size.  The
+    structurally important property reproduced here is the {e heavy skew}
+    of same-label fan-outs — bidders per auction and watches per person are
+    Zipf-distributed — which is what makes average-based synopses
+    (TreeSketches) blow up on this dataset in the paper's Fig. 7(d) and the
+    Fig. 11 discussion. *)
+
+val document : target:int -> seed:int -> Tl_xml.Xml_dom.element
+(** An auction site document with roughly [target] element nodes. *)

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Float Fun Hashtbl List Option Printf Report Seq String Tl_core Tl_datasets Tl_join Tl_lattice Tl_mining Tl_paths Tl_sketch Tl_tree Tl_twig Tl_util Tl_workload Tl_xml

@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: Tl_datasets Tl_lattice Tl_sketch Tl_tree Tl_twig Tl_workload Tl_xml

@@ -1,0 +1,11 @@
+let section id title = Printf.sprintf "\n== %s: %s ==\n" id title
+
+let percent v = Printf.sprintf "%.2f%%" v
+
+let ms v = Printf.sprintf "%.2f ms" v
+
+let seconds v = Printf.sprintf "%.2f s" v
+
+let kb bytes = Printf.sprintf "%.1f KB" (float_of_int bytes /. 1024.0)
+
+let note text = "  note: " ^ text ^ "\n"

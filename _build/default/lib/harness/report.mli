@@ -1,0 +1,19 @@
+(** Formatting helpers shared by every experiment report. *)
+
+val section : string -> string -> string
+(** [section id title] renders a header like
+    ["== table3: Summary construction time and memory =="]. *)
+
+val percent : float -> string
+(** ["12.34%"]. *)
+
+val ms : float -> string
+(** ["3.21 ms"]. *)
+
+val seconds : float -> string
+
+val kb : int -> string
+(** Bytes rendered as KB with one decimal. *)
+
+val note : string -> string
+(** An indented footnote line. *)

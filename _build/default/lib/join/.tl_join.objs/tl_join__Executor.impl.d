@@ -1,0 +1,1 @@
+lib/join/executor.ml: Array List Plan Tl_tree Tl_twig Tl_util

@@ -1,0 +1,1 @@
+lib/join/executor.mli: Plan Tl_tree

@@ -1,0 +1,1 @@
+lib/join/plan.ml: Array Fun List Printf String Tl_core Tl_lattice Tl_twig

@@ -1,0 +1,1 @@
+lib/join/plan.mli: Tl_lattice Tl_twig

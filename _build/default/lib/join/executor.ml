@@ -1,0 +1,105 @@
+module Data_tree = Tl_tree.Data_tree
+module Twig = Tl_twig.Twig
+
+type stats = {
+  result_count : int;
+  tuples_materialized : int;
+  peak_relation : int;
+  truncated : bool;
+}
+
+exception Capped
+
+(* Candidate images for query node [q] given a partial tuple: intersect the
+   downward constraint (children of the bound parent image) with the upward
+   constraint (common parent of the bound child images), then enforce
+   injectivity against bound query siblings. *)
+let candidates tree (ix : Twig.indexed) q tuple =
+  let label = ix.Twig.node_labels.(q) in
+  let p = ix.Twig.parents.(q) in
+  let from_parent =
+    if p >= 0 && tuple.(p) >= 0 then Some (Array.to_list (Data_tree.children_with_label tree tuple.(p) label))
+    else None
+  in
+  let bound_children = List.filter (fun c -> tuple.(c) >= 0) ix.Twig.kids.(q) in
+  let from_children =
+    match bound_children with
+    | [] -> None
+    | c :: rest -> (
+      match Data_tree.parent tree tuple.(c) with
+      | Some w
+        when Data_tree.label tree w = label
+             && List.for_all (fun c' -> Data_tree.parent tree tuple.(c') = Some w) rest ->
+        Some [ w ]
+      | Some _ | None -> Some [])
+  in
+  let merged =
+    match (from_parent, from_children) with
+    | Some a, Some b -> List.filter (fun w -> List.mem w b) a
+    | Some a, None -> a
+    | None, Some b -> b
+    | None, None -> invalid_arg "Executor: step not adjacent to the bound region"
+  in
+  match p with
+  | -1 -> merged
+  | p ->
+    List.filter
+      (fun w -> List.for_all (fun r -> r = q || tuple.(r) <> w) ix.Twig.kids.(p))
+      merged
+
+let run_relation ~cap tree (plan : Plan.t) =
+  if cap <= 0 then invalid_arg "Executor.run: cap must be positive";
+  (match Plan.validate plan with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Executor.run: invalid plan: " ^ msg));
+  let ix = Twig.index plan.Plan.twig in
+  let n = Array.length ix.Twig.node_labels in
+  let seed = plan.Plan.order.(0) in
+  let initial =
+    Array.to_list (Data_tree.nodes_with_label tree ix.Twig.node_labels.(seed))
+    |> List.map (fun v ->
+           let tuple = Array.make n (-1) in
+           tuple.(seed) <- v;
+           tuple)
+  in
+  let materialized = ref (List.length initial) in
+  let peak = ref (List.length initial) in
+  let relation = ref initial in
+  try
+    for step = 1 to n - 1 do
+      let q = plan.Plan.order.(step) in
+      let size = ref 0 in
+      let extended =
+        List.concat_map
+          (fun tuple ->
+            List.map
+              (fun w ->
+                incr size;
+                if !materialized + !size > cap then raise Capped;
+                let next = Array.copy tuple in
+                next.(q) <- w;
+                next)
+              (candidates tree ix q tuple))
+          !relation
+      in
+      relation := extended;
+      materialized := !materialized + !size;
+      if !size > !peak then peak := !size
+    done;
+    (!relation, !materialized, !peak, false)
+  with Capped -> ([], cap, !peak, true)
+
+let default_cap = 2_000_000
+
+let run ?(cap = default_cap) tree plan =
+  let relation, materialized, peak, truncated = run_relation ~cap tree plan in
+  {
+    result_count = List.length relation;
+    tuples_materialized = materialized;
+    peak_relation = peak;
+    truncated;
+  }
+
+let run_matches ?(cap = default_cap) ?limit tree plan =
+  let relation, _, _, _ = run_relation ~cap tree plan in
+  match limit with None -> relation | Some l -> Tl_util.Prelude.list_take l relation

@@ -1,0 +1,36 @@
+(** Plan execution: structural joins over the data tree.
+
+    A plan runs as a pipeline of binding extensions.  The state after step
+    [i] is the relation of all partial matches of the plan's [i+1]-node
+    induced sub-twig; each step joins the relation with one twig edge —
+    downward (bind children of a bound node's image) or upward (bind the
+    parent of a bound node's image, intersecting when several bound
+    children constrain it).  Sibling injectivity is enforced as tuples
+    extend, so the final relation is exactly the match set of
+    Definition 1.
+
+    The executor reports the total number of intermediate tuples
+    materialized — the cost the optimizer's estimates try to minimize —
+    so estimator-guided plans can be compared against naive ones on real
+    executions. *)
+
+type stats = {
+  result_count : int;  (** matches of the full twig (0 when truncated) *)
+  tuples_materialized : int;  (** sum of intermediate relation sizes *)
+  peak_relation : int;  (** largest intermediate relation *)
+  truncated : bool;  (** execution aborted at the tuple cap *)
+}
+
+val run : ?cap:int -> Tl_tree.Data_tree.t -> Plan.t -> stats
+(** Execute the plan.  [cap] (default [2_000_000]) bounds the total tuples
+    materialized: a bad join order can blow intermediate relations up
+    combinatorially (that blow-up is precisely what the optimizer avoids),
+    so execution aborts with [truncated = true] once the cap is crossed
+    rather than exhausting memory.  Raises [Invalid_argument] when the plan
+    does not {!Plan.validate} or [cap <= 0]. *)
+
+val run_matches :
+  ?cap:int -> ?limit:int -> Tl_tree.Data_tree.t -> Plan.t -> Tl_tree.Data_tree.node array list
+(** Execute and return the final binding tuples (indexed by the twig's
+    canonical preorder), at most [limit] (default all).  Returns [] when
+    execution hits [cap]. *)

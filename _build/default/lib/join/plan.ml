@@ -1,0 +1,100 @@
+module Twig = Tl_twig.Twig
+module Summary = Tl_lattice.Summary
+module Estimator = Tl_core.Estimator
+
+type t = { twig : Twig.t; order : int array }
+
+let adjacency (ix : Twig.indexed) =
+  let n = Array.length ix.node_labels in
+  let adj = Array.make n [] in
+  for v = 1 to n - 1 do
+    let p = ix.parents.(v) in
+    adj.(v) <- p :: adj.(v);
+    adj.(p) <- v :: adj.(p)
+  done;
+  adj
+
+let validate t =
+  let ix = Twig.index t.twig in
+  let n = Array.length ix.Twig.node_labels in
+  if Array.length t.order <> n then Error "order length differs from twig size"
+  else begin
+    let seen = Array.make n false in
+    let adj = adjacency ix in
+    let rec check i =
+      if i >= n then Ok ()
+      else begin
+        let q = t.order.(i) in
+        if q < 0 || q >= n then Error (Printf.sprintf "index %d out of bounds" q)
+        else if seen.(q) then Error (Printf.sprintf "index %d bound twice" q)
+        else if i > 0 && not (List.exists (fun nb -> seen.(nb)) adj.(q)) then
+          Error (Printf.sprintf "step %d binds node %d not adjacent to the bound region" i q)
+        else begin
+          seen.(q) <- true;
+          check (i + 1)
+        end
+      end
+    in
+    check 0
+  end
+
+let naive twig =
+  let twig = Twig.canonicalize twig in
+  { twig; order = Array.init (Twig.size twig) Fun.id }
+
+let prefix_twigs t =
+  let ix = Twig.index t.twig in
+  let bound = ref [] in
+  Array.to_list t.order
+  |> List.map (fun q ->
+         bound := q :: !bound;
+         Twig.induced ix !bound)
+
+let estimated_cost summary t =
+  List.fold_left
+    (fun acc prefix -> acc +. Estimator.estimate summary Estimator.Recursive prefix)
+    0.0 (prefix_twigs t)
+
+let greedy summary twig =
+  let twig = Twig.canonicalize twig in
+  let ix = Twig.index twig in
+  let n = Array.length ix.Twig.node_labels in
+  let adj = adjacency ix in
+  let estimate nodes = Estimator.estimate summary Estimator.Recursive (Twig.induced ix nodes) in
+  (* Seed: the rarest label anchors the smallest initial relation. *)
+  let seed = ref 0 in
+  for q = 1 to n - 1 do
+    if estimate [ q ] < estimate [ !seed ] then seed := q
+  done;
+  let bound = ref [ !seed ] in
+  let in_bound = Array.make n false in
+  in_bound.(!seed) <- true;
+  let order = Array.make n !seed in
+  for step = 1 to n - 1 do
+    let candidates =
+      List.concat_map (fun q -> if in_bound.(q) then [] else [ q ]) (List.init n Fun.id)
+      |> List.filter (fun q -> List.exists (fun nb -> in_bound.(nb)) adj.(q))
+    in
+    let best =
+      List.fold_left
+        (fun best q ->
+          let cost = estimate (q :: !bound) in
+          match best with
+          | Some (_, best_cost) when best_cost <= cost -> best
+          | _ -> Some (q, cost))
+        None candidates
+    in
+    match best with
+    | Some (q, _) ->
+      order.(step) <- q;
+      in_bound.(q) <- true;
+      bound := q :: !bound
+    | None -> assert false (* the twig is connected *)
+  done;
+  { twig; order }
+
+let pp ~names t =
+  let ix = Twig.index t.twig in
+  Array.to_list t.order
+  |> List.map (fun q -> names ix.Twig.node_labels.(q))
+  |> String.concat " > "

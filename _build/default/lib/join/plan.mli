@@ -1,0 +1,35 @@
+(** Twig evaluation plans.
+
+    The paper's first motivation is query optimization: "determining an
+    optimal query plan, based on said estimates, for complex queries."
+    This module gives estimates something to optimize: a twig is evaluated
+    as a sequence of structural joins, each extending the set of bound
+    query nodes by one node adjacent to the already-bound region, and the
+    cost of a plan is dominated by the sizes of the intermediate binding
+    relations — which are exactly the selectivities of the induced
+    sub-twigs, the quantity TreeLattice estimates.
+
+    A plan is an ordering of the twig's canonical preorder indices where
+    every prefix induces a connected sub-twig. *)
+
+type t = { twig : Tl_twig.Twig.t; order : int array }
+
+val validate : t -> (unit, string) result
+(** Check the order is a permutation whose every prefix is connected. *)
+
+val naive : Tl_twig.Twig.t -> t
+(** The baseline plan: canonical preorder (root first, depth-first). *)
+
+val greedy : Tl_lattice.Summary.t -> Tl_twig.Twig.t -> t
+(** The estimator-guided plan: start from the node whose label is rarest,
+    then repeatedly bind the adjacent node minimizing the {e estimated}
+    selectivity of the next induced sub-twig. *)
+
+val prefix_twigs : t -> Tl_twig.Twig.t list
+(** The induced sub-twig after each step (sizes 1..n). *)
+
+val estimated_cost : Tl_lattice.Summary.t -> t -> float
+(** Sum of estimated intermediate sizes — the optimizer's objective. *)
+
+val pp : names:(int -> string) -> t -> string
+(** E.g. ["seller > open_auction > bidder > increase"]. *)

@@ -1,0 +1,1 @@
+lib/lattice/summary.ml: Array Hashtbl List String Tl_mining Tl_twig

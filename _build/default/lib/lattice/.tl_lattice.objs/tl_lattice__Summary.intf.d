@@ -1,0 +1,1 @@
+lib/lattice/summary.mli: Tl_mining Tl_tree Tl_twig

@@ -1,0 +1,1 @@
+lib/lattice/summary_io.ml: Array Buffer List Printf String Summary Tl_twig

@@ -1,0 +1,1 @@
+lib/lattice/summary_io.mli: Summary

@@ -1,0 +1,77 @@
+module Twig = Tl_twig.Twig
+
+type entry = { twig : Twig.t; size : int; count : int }
+
+type t = { k : int; complete : bool; table : (string, entry) Hashtbl.t }
+
+let of_patterns ~k ~complete patterns =
+  if k < 2 then invalid_arg "Summary.of_patterns: k must be >= 2";
+  let table = Hashtbl.create (max 64 (List.length patterns)) in
+  List.iter
+    (fun (twig, count) ->
+      let twig = Twig.canonicalize twig in
+      let size = Twig.size twig in
+      if size > k then invalid_arg "Summary.of_patterns: pattern larger than k";
+      if count < 0 then invalid_arg "Summary.of_patterns: negative count";
+      Hashtbl.replace table (Twig.encode twig) { twig; size; count })
+    patterns;
+  { k; complete; table }
+
+let of_mining (result : Tl_mining.Miner.result) =
+  of_patterns ~k:result.max_size ~complete:true (Tl_mining.Miner.all result)
+
+let build ?(k = 4) tree =
+  if k < 2 then invalid_arg "Summary.build: k must be >= 2";
+  let ctx = Tl_twig.Match_count.create_ctx tree in
+  of_mining (Tl_mining.Miner.mine ctx ~max_size:k)
+
+let k t = t.k
+
+let is_complete t = t.complete
+
+let find_encoded t key =
+  match Hashtbl.find_opt t.table key with Some { count; _ } -> Some count | None -> None
+
+let find t twig = find_encoded t (Twig.encode twig)
+
+let mem t twig = Hashtbl.mem t.table (Twig.encode twig)
+
+let entries t = Hashtbl.length t.table
+
+let patterns_per_level t =
+  let counts = Array.make t.k 0 in
+  Hashtbl.iter (fun _ { size; _ } -> counts.(size - 1) <- counts.(size - 1) + 1) t.table;
+  counts
+
+let fold f t acc = Hashtbl.fold (fun _ { twig; count; _ } acc -> f twig count acc) t.table acc
+
+let level t s =
+  let collected =
+    Hashtbl.fold
+      (fun _ { twig; size; count } acc -> if size = s then (twig, count) :: acc else acc)
+      t.table []
+  in
+  List.sort (fun (a, _) (b, _) -> Twig.compare a b) collected
+
+let memory_bytes t =
+  Hashtbl.fold (fun key _ acc -> acc + String.length key + 8) t.table 0
+
+let restrict t ~keep =
+  let table = Hashtbl.create (Hashtbl.length t.table) in
+  let dropped = ref 0 in
+  Hashtbl.iter
+    (fun key ({ twig; size; count } as entry) ->
+      if size <= 2 || keep twig count then Hashtbl.replace table key entry else incr dropped)
+    t.table;
+  { k = t.k; complete = t.complete && !dropped = 0; table }
+
+let merge a b =
+  if a.k <> b.k then invalid_arg "Summary.merge: lattice depths differ";
+  let table = Hashtbl.copy a.table in
+  Hashtbl.iter
+    (fun key entry ->
+      match Hashtbl.find_opt table key with
+      | Some existing -> Hashtbl.replace table key { existing with count = existing.count + entry.count }
+      | None -> Hashtbl.replace table key entry)
+    b.table;
+  { k = a.k; complete = a.complete && b.complete; table }

@@ -1,0 +1,71 @@
+(** The lattice summary (§3, §4): occurrence statistics of all small twigs.
+
+    A [k]-lattice stores, for every subtree pattern of size [<= k] occurring
+    in the document, its exact selectivity.  Patterns are keyed by canonical
+    encoding in a hash table — the storage layout the paper adopts after
+    finding prefix trees too pointer-chasing-heavy (§4.2).
+
+    A summary can be {e complete} (it holds every occurring pattern up to
+    level [k], so a missing pattern of size [<= k] truly has selectivity 0)
+    or {e pruned} (δ-derivable patterns were removed; a miss must fall back
+    to decomposition-based estimation).  Estimators dispatch on
+    {!is_complete}.
+
+    Label ids in stored twigs refer to the interner of the document the
+    summary was built from. *)
+
+type t
+
+val build : ?k:int -> Tl_tree.Data_tree.t -> t
+(** Mine the document and assemble its [k]-lattice (default [k = 4], the
+    paper's default).  Raises [Invalid_argument] if [k < 2] — level 2 is the
+    minimum the decomposition framework needs. *)
+
+val of_mining : Tl_mining.Miner.result -> t
+(** Wrap an existing mining result. *)
+
+val of_patterns : k:int -> complete:bool -> (Tl_twig.Twig.t * int) list -> t
+(** Assemble from explicit pattern counts (used by pruning and tests).
+    Raises [Invalid_argument] when a pattern exceeds [k] nodes or a count is
+    negative. *)
+
+val k : t -> int
+(** The lattice depth. *)
+
+val is_complete : t -> bool
+(** False after δ-derivable pruning. *)
+
+val find : t -> Tl_twig.Twig.t -> int option
+(** Stored selectivity of the pattern, canonicalizing as needed. *)
+
+val find_encoded : t -> string -> int option
+(** Lookup by pre-computed canonical encoding (the estimators' hot path). *)
+
+val mem : t -> Tl_twig.Twig.t -> bool
+
+val entries : t -> int
+(** Number of stored patterns. *)
+
+val patterns_per_level : t -> int array
+(** Pattern counts at sizes 1..k. *)
+
+val fold : (Tl_twig.Twig.t -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val level : t -> int -> (Tl_twig.Twig.t * int) list
+(** Stored patterns of one size, in canonical order. *)
+
+val memory_bytes : t -> int
+(** Storage estimate used for the paper's "Utilization (KiloBytes)" column:
+    each entry is charged its canonical key bytes plus one 8-byte count. *)
+
+val restrict : t -> keep:(Tl_twig.Twig.t -> int -> bool) -> t
+(** Drop entries failing [keep]; the result is marked incomplete unless
+    everything was kept.  Level 1 and 2 patterns are always retained —
+    they anchor the decomposition recursion (Fig. 6 keeps them too). *)
+
+val merge : t -> t -> t
+(** Pointwise sum of two summaries over the {e same} label space, the
+    incremental-maintenance primitive (§1: the approach "is incremental in
+    nature"): mining document A and document B separately and merging equals
+    mining the two-document forest.  Raises [Invalid_argument] when the
+    depths differ.  The result is complete iff both inputs are. *)

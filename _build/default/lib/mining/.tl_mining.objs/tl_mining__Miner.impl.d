@@ -1,0 +1,1 @@
+lib/mining/miner.ml: Array Hashtbl List Tl_tree Tl_twig

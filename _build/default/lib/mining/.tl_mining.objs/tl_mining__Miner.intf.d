@@ -1,0 +1,1 @@
+lib/mining/miner.mli: Tl_twig

@@ -1,0 +1,80 @@
+module Data_tree = Tl_tree.Data_tree
+module Twig = Tl_twig.Twig
+module Match_count = Tl_twig.Match_count
+
+type twig_count = Twig.t * int
+
+type result = { max_size : int; levels : twig_count list array }
+
+(* Downward closure: a candidate can only occur if every sub-twig obtained
+   by dropping one degree-1 node occurred at the previous level. *)
+let sub_twigs_occur prev_level candidate =
+  let ix = Twig.index candidate in
+  List.for_all
+    (fun i -> Hashtbl.mem prev_level (Twig.encode (Twig.remove ix i)))
+    (Twig.degree_one ix)
+
+let mine ctx ~max_size =
+  if max_size < 1 then invalid_arg "Miner.mine: max_size must be >= 1";
+  let tree = Match_count.tree ctx in
+  let levels = Array.make (max_size + 1) [] in
+  (* Level 1: one pattern per occurring label. *)
+  let nlabels = Data_tree.label_count tree in
+  let level1 = ref [] in
+  for l = nlabels - 1 downto 0 do
+    let occurrences = Array.length (Data_tree.nodes_with_label tree l) in
+    if occurrences > 0 then level1 := (Twig.leaf l, occurrences) :: !level1
+  done;
+  levels.(1) <- !level1;
+  (* Child labels that can extend a node labeled [lp]. *)
+  let extensions = Array.make nlabels [] in
+  List.iter
+    (fun (lp, lc) -> extensions.(lp) <- lc :: extensions.(lp))
+    (Data_tree.edge_label_pairs tree);
+  Array.iteri (fun lp kids -> extensions.(lp) <- List.sort compare kids) extensions;
+  (* Levels 2..max_size by rightmost-style extension of every node. *)
+  let prev_table = Hashtbl.create 256 in
+  let reset_prev level =
+    Hashtbl.reset prev_table;
+    List.iter (fun (t, _) -> Hashtbl.replace prev_table (Twig.encode t) ()) level
+  in
+  let rec grow_level s =
+    if s <= max_size then begin
+      reset_prev levels.(s - 1);
+      let candidates = Hashtbl.create 256 in
+      List.iter
+        (fun (pattern, _) ->
+          let ix = Twig.index pattern in
+          Array.iteri
+            (fun i lp ->
+              List.iter
+                (fun lc ->
+                  let candidate = Twig.grow ix i lc in
+                  let key = Twig.encode candidate in
+                  if not (Hashtbl.mem candidates key) then Hashtbl.replace candidates key candidate)
+                extensions.(lp))
+            ix.Twig.node_labels)
+        levels.(s - 1);
+      let counted = ref [] in
+      Hashtbl.iter
+        (fun _ candidate ->
+          if s = 2 || sub_twigs_occur prev_table candidate then begin
+            let count = Match_count.selectivity ctx candidate in
+            if count > 0 then counted := (candidate, count) :: !counted
+          end)
+        candidates;
+      levels.(s) <- List.sort (fun (a, _) (b, _) -> Twig.compare a b) !counted;
+      grow_level (s + 1)
+    end
+  in
+  grow_level 2;
+  levels.(1) <- List.sort (fun (a, _) (b, _) -> Twig.compare a b) levels.(1);
+  { max_size; levels }
+
+let all r = List.concat (Array.to_list r.levels)
+
+let level r s = if s < 1 || s > r.max_size then [] else r.levels.(s)
+
+let patterns_per_level r = Array.init r.max_size (fun i -> List.length r.levels.(i + 1))
+
+let total_patterns r = Array.fold_left (fun acc l -> acc + List.length l) 0 r.levels

@@ -1,0 +1,1 @@
+lib/paths/markov_table.ml: Hashtbl List Option String Tl_tree

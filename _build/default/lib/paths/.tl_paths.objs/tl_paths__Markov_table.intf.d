@@ -1,0 +1,1 @@
+lib/paths/markov_table.mli: Tl_tree

@@ -1,0 +1,1 @@
+lib/paths/path_tree.ml: Array Hashtbl List Option Tl_tree

@@ -1,0 +1,1 @@
+lib/paths/path_tree.mli: Tl_tree

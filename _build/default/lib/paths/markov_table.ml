@@ -1,0 +1,109 @@
+module Data_tree = Tl_tree.Data_tree
+
+(* Paths are keyed by their label sequence rendered as a string ("3/1/4"),
+   the same hash-table discipline as the lattice summary. *)
+type star = { star_count : int; star_total : int }
+(** Aggregate of pruned paths of one length: how many were pruned and the
+    sum of their counts. *)
+
+type t = {
+  table_order : int;
+  table : (string, int) Hashtbl.t;
+  stars : (int, star) Hashtbl.t;  (** per path length *)
+}
+
+let key labels = String.concat "/" (List.map string_of_int labels)
+
+let key_length k = 1 + String.fold_left (fun acc c -> if c = '/' then acc + 1 else acc) 0 k
+
+let build ?(order = 2) tree =
+  if order < 1 then invalid_arg "Markov_table.build: order must be >= 1";
+  let table = Hashtbl.create 1024 in
+  let bump k = Hashtbl.replace table k (1 + Option.value ~default:0 (Hashtbl.find_opt table k)) in
+  let n = Data_tree.size tree in
+  (* For every node, record the label chains of lengths 1..order ENDING at
+     it, read off its ancestor line. *)
+  for v = 0 to n - 1 do
+    let rec chain u acc remaining =
+      let acc = Data_tree.label tree u :: acc in
+      bump (key acc);
+      if remaining > 1 then
+        match Data_tree.parent tree u with
+        | Some p -> chain p acc (remaining - 1)
+        | None -> ()
+    in
+    chain v [] order
+  done;
+  { table_order = order; table; stars = Hashtbl.create 4 }
+
+let order t = t.table_order
+
+let entries t = Hashtbl.length t.table
+
+let memory_bytes t =
+  Hashtbl.fold (fun k _ acc -> acc + (8 * key_length k) + 8) t.table 0
+
+let lookup t labels =
+  let k = key labels in
+  match Hashtbl.find_opt t.table k with
+  | Some c -> float_of_int c
+  | None -> (
+    match Hashtbl.find_opt t.stars (List.length labels) with
+    | Some { star_count; star_total } when star_count > 0 ->
+      float_of_int star_total /. float_of_int star_count
+    | Some _ | None -> 0.0)
+
+let rec take n = function [] -> [] | _ when n = 0 -> [] | x :: rest -> x :: take (n - 1) rest
+
+let rec drop n xs = if n <= 0 then xs else match xs with [] -> [] | _ :: rest -> drop (n - 1) rest
+
+let estimate t labels =
+  (match labels with [] -> invalid_arg "Markov_table.estimate: empty path" | _ -> ());
+  let m = t.table_order in
+  let n = List.length labels in
+  if n <= m then lookup t labels
+  else begin
+    let window i len = take len (drop i labels) in
+    let first = lookup t (window 0 m) in
+    let rec go i acc =
+      if i > n - m then acc
+      else if acc = 0.0 then 0.0
+      else begin
+        let num = lookup t (window i m) in
+        let den = lookup t (window i (m - 1)) in
+        if den <= 0.0 then 0.0 else go (i + 1) (acc *. num /. den)
+      end
+    in
+    go 1 first
+  end
+
+let prune t ~budget_bytes =
+  let pruned = { table_order = t.table_order; table = Hashtbl.copy t.table; stars = Hashtbl.copy t.stars } in
+  let current = ref (memory_bytes pruned) in
+  if !current <= budget_bytes then pruned
+  else begin
+    (* Victims: longest paths first, lowest counts first — deleting a long
+       low-count path costs the least accuracy (Aboulnaga's ordering). *)
+    let victims =
+      Hashtbl.fold (fun k c acc -> (key_length k, c, k) :: acc) pruned.table []
+      |> List.filter (fun (len, _, _) -> len > 1)
+      |> List.sort (fun (l1, c1, _) (l2, c2, _) -> compare (-l1, c1) (-l2, c2))
+    in
+    let rec evict = function
+      | [] -> ()
+      | (len, count, k) :: rest ->
+        if !current <= budget_bytes then ()
+        else begin
+          Hashtbl.remove pruned.table k;
+          current := !current - ((8 * len) + 8);
+          let existing =
+            Option.value ~default:{ star_count = 0; star_total = 0 } (Hashtbl.find_opt pruned.stars len)
+          in
+          Hashtbl.replace pruned.stars len
+            { star_count = existing.star_count + 1; star_total = existing.star_total + count };
+          evict rest
+        end
+    in
+    evict victims;
+    pruned
+  end

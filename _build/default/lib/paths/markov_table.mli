@@ -1,0 +1,43 @@
+(** The Markov-table path selectivity estimator (Aboulnaga, Alameldeen,
+    Naughton; VLDB 2001) — the classical baseline the paper's §3.4 proves
+    TreeLattice subsumes.
+
+    The summary stores the occurrence count of every label path of length
+    [<= order] (a path of length l is a downward chain of l nodes, starting
+    anywhere).  Longer paths are estimated with the Markov property:
+
+    {v f(l1..ln) = f(l1..lm) * prod f(li..l(i+m-1)) / f(li..l(i+m-2)) v}
+
+    The method's space innovation is {e pruning with aggregation}: low-count
+    paths are deleted from the table and summarized by per-length star
+    buckets carrying their average count, which lookups fall back to — this
+    trades a bounded accuracy loss for a hard memory budget (the analogue of
+    the paper's δ-derivable pruning, which Fig. 6 credits to this work). *)
+
+type t
+
+val build : ?order:int -> Tl_tree.Data_tree.t -> t
+(** Collect path statistics up to [order] (default 2, the classical
+    first-order Markov table).  Raises [Invalid_argument] if [order < 1]. *)
+
+val order : t -> int
+
+val entries : t -> int
+(** Stored paths (star buckets not included). *)
+
+val memory_bytes : t -> int
+(** 8 bytes per stored label id plus 8 per count, matching the lattice
+    summary's accounting. *)
+
+val lookup : t -> int list -> float
+(** Stored (or star-estimated) count of a path of length [<= order]; exact
+    for unpruned tables. *)
+
+val estimate : t -> int list -> float
+(** Markov-chained selectivity estimate for a path of any length.  Raises
+    [Invalid_argument] on the empty path. *)
+
+val prune : t -> budget_bytes:int -> t
+(** Delete lowest-count paths (longest lengths first) until the table fits
+    the budget, aggregating deletions into per-length star buckets.
+    Length-1 entries are never pruned. *)

@@ -1,0 +1,107 @@
+module Data_tree = Tl_tree.Data_tree
+
+type node = {
+  label : int;
+  mutable count : int;
+  children : (int, node) Hashtbl.t;
+  (* Aggregate of pruned children: how many distinct child paths were
+     merged and their total count. *)
+  mutable star : (int * int) option;
+}
+
+type t = { root : node }
+
+let fresh label = { label; count = 0; children = Hashtbl.create 4; star = None }
+
+let build tree =
+  let root = fresh (Data_tree.label tree (Data_tree.root tree)) in
+  root.count <- 1;
+  let rec visit v pnode =
+    Array.iter
+      (fun w ->
+        let l = Data_tree.label tree w in
+        let child =
+          match Hashtbl.find_opt pnode.children l with
+          | Some c -> c
+          | None ->
+            let c = fresh l in
+            Hashtbl.replace pnode.children l c;
+            c
+        in
+        child.count <- child.count + 1;
+        visit w child)
+      (Data_tree.children tree v)
+  in
+  visit (Data_tree.root tree) root;
+  { root }
+
+let rec fold_nodes f acc node =
+  let acc = f acc node in
+  Hashtbl.fold (fun _ child acc -> fold_nodes f acc child) node.children acc
+
+let node_count t = fold_nodes (fun acc _ -> acc + 1) 0 t.root
+
+let memory_bytes t =
+  fold_nodes (fun acc node -> acc + 16 + (match node.star with Some _ -> 16 | None -> 0)) 0 t.root
+
+(* Count contribution of the label sequence starting at [node] (whose label
+   already matched the sequence head). *)
+let rec descend node = function
+  | [] -> float_of_int node.count
+  | l :: rest -> (
+    match Hashtbl.find_opt node.children l with
+    | Some child -> descend child rest
+    | None -> (
+      match node.star with
+      | Some (merged, total) when merged > 0 && rest = [] ->
+        (* A pruned child: its average count, usable only as a terminal
+           step (the pruned subtree below it is gone). *)
+        float_of_int total /. float_of_int merged
+      | Some _ | None -> 0.0))
+
+let estimate t labels =
+  match labels with
+  | [] -> invalid_arg "Path_tree.estimate: empty path"
+  | first :: rest ->
+    fold_nodes
+      (fun acc node -> if node.label = first then acc +. descend node rest else acc)
+      0.0 t.root
+
+let rec copy node =
+  let children = Hashtbl.create (Hashtbl.length node.children) in
+  Hashtbl.iter (fun l child -> Hashtbl.replace children l (copy child)) node.children;
+  { label = node.label; count = node.count; children; star = node.star }
+
+let prune t ~budget_bytes =
+  let pruned = { root = copy t.root } in
+  let current = ref (memory_bytes pruned) in
+  if !current <= budget_bytes then pruned
+  else begin
+    (* Repeatedly merge the lowest-count leaf into its parent's star. *)
+    let rec leaves parent acc node =
+      if Hashtbl.length node.children = 0 then (parent, node) :: acc
+      else Hashtbl.fold (fun _ child acc -> leaves (Some node) acc child) node.children acc
+    in
+    let continue = ref true in
+    while !current > budget_bytes && !continue do
+      let candidates =
+        List.filter_map
+          (fun (parent, leaf) -> Option.map (fun p -> (p, leaf)) parent)
+          (leaves None [] pruned.root)
+      in
+      match candidates with
+      | [] -> continue := false
+      | _ ->
+        let parent, victim =
+          List.fold_left
+            (fun ((_, best) as best_pair) ((_, leaf) as pair) ->
+              if leaf.count < best.count then pair else best_pair)
+            (List.hd candidates) candidates
+        in
+        Hashtbl.remove parent.children victim.label;
+        let merged, total = Option.value ~default:(0, 0) parent.star in
+        parent.star <- Some (merged + 1, total + victim.count);
+        current := memory_bytes pruned
+    done;
+    pruned
+  end

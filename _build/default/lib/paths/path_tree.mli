@@ -1,0 +1,33 @@
+(** The path-tree summary (Aboulnaga et al., VLDB 2001) — the second
+    classical path estimator from the paper's related work (§2.2: "a path
+    tree is a summarized form of the XML data tree", which the Markov table
+    was shown to beat on real data).
+
+    A path tree merges every set of same-label siblings in the data tree
+    into one node carrying their total count; the result has one node per
+    distinct root-to-node label path.  Path selectivity is answered by
+    walking the tree: exact for root-anchored paths, and estimated for
+    unanchored paths by summing every occurrence of the path's label
+    sequence across the tree.
+
+    To fit a memory budget, low-count leaves are repeatedly pruned into
+    their parent's star bucket (count-weighted average), the paper's
+    "sibling-* " style aggregation. *)
+
+type t
+
+val build : Tl_tree.Data_tree.t -> t
+
+val node_count : t -> int
+
+val memory_bytes : t -> int
+(** 16 bytes per path-tree node (label + count). *)
+
+val estimate : t -> int list -> float
+(** Selectivity of the label path (anywhere in the document, as
+    {!Markov_table.estimate}).  Exact on unpruned path trees.  Raises
+    [Invalid_argument] on the empty path. *)
+
+val prune : t -> budget_bytes:int -> t
+(** Merge lowest-count leaves into per-parent star buckets until the tree
+    fits the budget.  The root is never pruned. *)

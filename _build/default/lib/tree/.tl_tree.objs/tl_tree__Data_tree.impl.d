@@ -1,0 +1,1 @@
+lib/tree/data_tree.ml: Array Hashtbl List Option Tl_util Tl_xml

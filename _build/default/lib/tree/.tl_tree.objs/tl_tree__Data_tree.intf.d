@@ -1,0 +1,1 @@
+lib/tree/data_tree.mli: Tl_xml

@@ -1,0 +1,1 @@
+lib/tree/tree_builder.ml: Data_tree List Tl_xml

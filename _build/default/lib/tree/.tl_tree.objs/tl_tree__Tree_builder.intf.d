@@ -1,0 +1,1 @@
+lib/tree/tree_builder.mli: Data_tree Tl_xml

@@ -1,0 +1,1 @@
+lib/tree/tree_load.ml: Array Data_tree Tl_xml

@@ -1,0 +1,1 @@
+lib/tree/tree_load.mli: Data_tree

@@ -1,0 +1,1 @@
+lib/tree/tree_stats.ml: Array Data_tree List Printf

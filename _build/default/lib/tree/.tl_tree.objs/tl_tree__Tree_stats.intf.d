@@ -1,0 +1,1 @@
+lib/tree/tree_stats.mli: Data_tree

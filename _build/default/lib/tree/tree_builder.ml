@@ -1,0 +1,22 @@
+type spec = { label : string; kids : spec list }
+
+let node label kids = { label; kids }
+
+let leaf label = { label; kids = [] }
+
+let path = function
+  | [] -> invalid_arg "Tree_builder.path: empty label list"
+  | labels ->
+    let rec chain = function
+      | [] -> assert false
+      | [ l ] -> leaf l
+      | l :: rest -> node l [ chain rest ]
+    in
+    chain labels
+
+let rec to_element spec =
+  Tl_xml.Xml_dom.element spec.label (List.map (fun k -> Tl_xml.Xml_dom.Element (to_element k)) spec.kids)
+
+let build spec = Data_tree.of_element (to_element spec)
+
+let replicate n s = List.init n (fun _ -> s)

@@ -1,0 +1,24 @@
+(** Programmatic construction of data trees.
+
+    Tests and the worked examples (e.g. the paper's Fig. 11 document) build
+    trees directly rather than going through XML text. *)
+
+type spec
+(** A tree shape: a label plus child specs. *)
+
+val node : string -> spec list -> spec
+
+val leaf : string -> spec
+
+val path : string list -> spec
+(** [path [a; b; c]] is the chain a/b/c.  Raises [Invalid_argument] on an
+    empty list. *)
+
+val build : spec -> Data_tree.t
+(** Materialize the spec as a data tree. *)
+
+val to_element : spec -> Tl_xml.Xml_dom.element
+(** The same shape as a DOM element (no attributes, no text). *)
+
+val replicate : int -> spec -> spec list
+(** [replicate n s] is [n] copies of [s], for building fan-outs. *)

@@ -1,0 +1,50 @@
+module Xml_sax = Tl_xml.Xml_sax
+
+(* Growable preorder arrays fed by Start/End element events; everything
+   else in the stream is ignored. *)
+type builder = {
+  mutable tags : string array;
+  mutable parents : int array;
+  mutable count : int;
+  mutable stack : int list;
+}
+
+let push b tag parent =
+  if b.count >= Array.length b.tags then begin
+    let capacity = max 64 (2 * Array.length b.tags) in
+    let tags = Array.make capacity "" in
+    let parents = Array.make capacity (-1) in
+    Array.blit b.tags 0 tags 0 b.count;
+    Array.blit b.parents 0 parents 0 b.count;
+    b.tags <- tags;
+    b.parents <- parents
+  end;
+  b.tags.(b.count) <- tag;
+  b.parents.(b.count) <- parent;
+  b.count <- b.count + 1
+
+let handler b event =
+  match event with
+  | Xml_sax.Start_element (tag, _) ->
+    let parent = match b.stack with [] -> -1 | top :: _ -> top in
+    let id = b.count in
+    push b tag parent;
+    b.stack <- id :: b.stack
+  | Xml_sax.End_element _ -> (
+    match b.stack with
+    | _ :: rest -> b.stack <- rest
+    | [] -> () (* unreachable: the SAX layer rejects unbalanced close tags *))
+  | Xml_sax.Declaration _ | Xml_sax.Text _ | Xml_sax.Comment _ | Xml_sax.Pi _ -> ()
+
+let finish b =
+  Data_tree.of_preorder ~tags:(Array.sub b.tags 0 b.count) ~parents:(Array.sub b.parents 0 b.count)
+
+let of_string input =
+  let b = { tags = [||]; parents = [||]; count = 0; stack = [] } in
+  Xml_sax.parse_string input (handler b);
+  finish b
+
+let of_file path =
+  let b = { tags = [||]; parents = [||]; count = 0; stack = [] } in
+  Xml_sax.parse_file path (handler b);
+  finish b

@@ -1,0 +1,11 @@
+(** Streaming construction of data trees from XML.
+
+    Builds the tree directly from SAX events ({!Tl_xml.Xml_sax}) — element
+    tags and nesting only — without materializing a DOM.  Produces exactly
+    the same tree as [Data_tree.of_xml (Xml_dom.parse_file path)] (tested),
+    at a fraction of the peak memory on text-heavy documents. *)
+
+val of_string : string -> Data_tree.t
+(** Raises {!Tl_xml.Xml_error.Parse_error} on malformed input. *)
+
+val of_file : string -> Data_tree.t

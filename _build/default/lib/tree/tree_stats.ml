@@ -1,0 +1,57 @@
+type t = {
+  nodes : int;
+  distinct_labels : int;
+  depth : int;
+  max_fanout : int;
+  mean_fanout : float;
+  leaves : int;
+  edge_label_pairs : int;
+}
+
+let compute tree =
+  let n = Data_tree.size tree in
+  let max_fanout = ref 0 in
+  let internal = ref 0 in
+  let internal_child_sum = ref 0 in
+  let leaves = ref 0 in
+  Data_tree.iter_nodes tree (fun v ->
+      let f = Data_tree.fanout tree v in
+      if f = 0 then incr leaves
+      else begin
+        incr internal;
+        internal_child_sum := !internal_child_sum + f
+      end;
+      if f > !max_fanout then max_fanout := f);
+  {
+    nodes = n;
+    distinct_labels = Data_tree.label_count tree;
+    depth = Data_tree.depth tree;
+    max_fanout = !max_fanout;
+    mean_fanout =
+      (if !internal = 0 then 0.0 else float_of_int !internal_child_sum /. float_of_int !internal);
+    leaves = !leaves;
+    edge_label_pairs = List.length (Data_tree.edge_label_pairs tree);
+  }
+
+let label_histogram tree =
+  let counts =
+    List.init (Data_tree.label_count tree) (fun l ->
+        (Data_tree.label_name tree l, Array.length (Data_tree.nodes_with_label tree l)))
+  in
+  List.sort (fun (_, a) (_, b) -> compare b a) counts
+
+let fanout_of_label tree tag =
+  match Data_tree.label_of_string tree tag with
+  | None -> 0.0
+  | Some l ->
+    let nodes = Data_tree.nodes_with_label tree l in
+    if Array.length nodes = 0 then 0.0
+    else begin
+      let total = Array.fold_left (fun acc v -> acc + Data_tree.fanout tree v) 0 nodes in
+      float_of_int total /. float_of_int (Array.length nodes)
+    end
+
+let pp s =
+  Printf.sprintf
+    "nodes=%d labels=%d depth=%d max_fanout=%d mean_fanout=%.2f leaves=%d edge_pairs=%d" s.nodes
+    s.distinct_labels s.depth s.max_fanout s.mean_fanout s.leaves s.edge_label_pairs

@@ -1,0 +1,24 @@
+(** Structural statistics of a data tree.
+
+    Backs Table 1 (dataset characteristics) and sanity reporting in the
+    benchmark harness. *)
+
+type t = {
+  nodes : int;
+  distinct_labels : int;
+  depth : int;
+  max_fanout : int;
+  mean_fanout : float;  (** over internal nodes only *)
+  leaves : int;
+  edge_label_pairs : int;  (** distinct (parent label, child label) pairs *)
+}
+
+val compute : Data_tree.t -> t
+
+val label_histogram : Data_tree.t -> (string * int) list
+(** Occurrences per label, most frequent first. *)
+
+val fanout_of_label : Data_tree.t -> string -> float
+(** Mean fanout of nodes carrying the given tag; 0 when the tag is absent. *)
+
+val pp : t -> string

@@ -1,0 +1,1 @@
+lib/treesketch/sketch_build.ml: Array Hashtbl List Option Synopsis Tl_tree Tl_util

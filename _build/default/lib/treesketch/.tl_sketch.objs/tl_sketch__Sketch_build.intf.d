@@ -1,0 +1,1 @@
+lib/treesketch/sketch_build.mli: Synopsis Tl_tree

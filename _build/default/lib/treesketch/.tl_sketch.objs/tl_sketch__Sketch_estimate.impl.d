@@ -1,0 +1,1 @@
+lib/treesketch/sketch_estimate.ml: Array Hashtbl List Option Synopsis Tl_twig

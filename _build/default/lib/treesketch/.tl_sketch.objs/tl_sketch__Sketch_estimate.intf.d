@@ -1,0 +1,1 @@
+lib/treesketch/sketch_estimate.mli: Synopsis Tl_twig

@@ -1,0 +1,1 @@
+lib/treesketch/sketch_io.ml: Array Buffer Hashtbl List Option Printf String Synopsis

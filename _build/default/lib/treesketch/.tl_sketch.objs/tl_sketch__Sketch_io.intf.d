@@ -1,0 +1,1 @@
+lib/treesketch/sketch_io.mli: Synopsis

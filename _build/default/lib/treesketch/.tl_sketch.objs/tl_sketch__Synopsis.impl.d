@@ -1,0 +1,1 @@
+lib/treesketch/synopsis.ml: Array Hashtbl Printf

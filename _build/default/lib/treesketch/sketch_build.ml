@@ -1,0 +1,238 @@
+module Data_tree = Tl_tree.Data_tree
+module Xorshift = Tl_util.Xorshift
+
+(* Upper bound on the refined partition size; beyond this, refinement rounds
+   stop (the merge phase would just have to undo them). *)
+let max_initial_clusters = 8192
+
+(* --- phase 1: count-stability refinement -------------------------------- *)
+
+let refine_partition tree ~rounds =
+  let n = Data_tree.size tree in
+  let assignment = Array.init n (fun v -> Data_tree.label tree v) in
+  let ncl = ref (Data_tree.label_count tree) in
+  let round () =
+    let signatures = Hashtbl.create (2 * !ncl) in
+    let fresh = ref 0 in
+    let next = Array.make n 0 in
+    for v = 0 to n - 1 do
+      let child_counts = Hashtbl.create 8 in
+      Array.iter
+        (fun c ->
+          let cl = assignment.(c) in
+          Hashtbl.replace child_counts cl (1 + Option.value ~default:0 (Hashtbl.find_opt child_counts cl)))
+        (Data_tree.children tree v);
+      let sig_counts = Hashtbl.fold (fun cl cnt acc -> (cl, cnt) :: acc) child_counts [] in
+      let signature = (assignment.(v), List.sort compare sig_counts) in
+      let id =
+        match Hashtbl.find_opt signatures signature with
+        | Some id -> id
+        | None ->
+          let id = !fresh in
+          incr fresh;
+          Hashtbl.replace signatures signature id;
+          id
+      in
+      next.(v) <- id
+    done;
+    (next, !fresh)
+  in
+  let rec iterate r =
+    if r > 0 then begin
+      let next, count = round () in
+      if count > max_initial_clusters then ()
+      else if count = !ncl then () (* stable *)
+      else begin
+        Array.blit next 0 assignment 0 n;
+        ncl := count;
+        iterate (r - 1)
+      end
+    end
+  in
+  iterate rounds;
+  (assignment, !ncl)
+
+(* --- phase 2: greedy bottom-up merging ---------------------------------- *)
+
+(* Distortion bookkeeping against the fixed phase-1 partition: for live
+   cluster [c], [stats.(c)] maps initial child cluster -> (sum, sum of
+   squares) of per-node child counts, over the nodes of [c].  Disjoint node
+   sets make these additive under merges. *)
+type cluster_stats = { mutable members : int; counts : (int, int * int) Hashtbl.t }
+
+let sse stats =
+  let m = float_of_int stats.members in
+  Hashtbl.fold
+    (fun _ (s, s2) acc -> acc +. (float_of_int s2 -. (float_of_int (s * s) /. m)))
+    stats.counts 0.0
+
+let merged_sse a b =
+  let m = float_of_int (a.members + b.members) in
+  let acc = ref 0.0 in
+  Hashtbl.iter
+    (fun dst (s, s2) ->
+      let s', s2' = Option.value ~default:(0, 0) (Hashtbl.find_opt b.counts dst) in
+      let s = s + s' and s2 = s2 + s2' in
+      acc := !acc +. (float_of_int s2 -. (float_of_int (s * s) /. m)))
+    a.counts;
+  Hashtbl.iter
+    (fun dst (s, s2) ->
+      if not (Hashtbl.mem a.counts dst) then
+        acc := !acc +. (float_of_int s2 -. (float_of_int (s * s) /. m)))
+    b.counts;
+  !acc
+
+let build ?(budget_bytes = 50 * 1024) ?(refine_rounds = 4) ?(candidate_sample = 64) ?(seed = 42)
+    tree =
+  let n = Data_tree.size tree in
+  let assignment, ncl = refine_partition tree ~rounds:refine_rounds in
+  (* Initial stats. *)
+  let stats =
+    Array.init ncl (fun _ -> { members = 0; counts = Hashtbl.create 8 })
+  in
+  let cluster_label = Array.make ncl (-1) in
+  for v = 0 to n - 1 do
+    let c = assignment.(v) in
+    cluster_label.(c) <- Data_tree.label tree v;
+    stats.(c).members <- stats.(c).members + 1;
+    let per_child = Hashtbl.create 8 in
+    Array.iter
+      (fun w ->
+        let d = assignment.(w) in
+        Hashtbl.replace per_child d (1 + Option.value ~default:0 (Hashtbl.find_opt per_child d)))
+      (Data_tree.children tree v);
+    Hashtbl.iter
+      (fun d cnt ->
+        let s, s2 = Option.value ~default:(0, 0) (Hashtbl.find_opt stats.(c).counts d) in
+        Hashtbl.replace stats.(c).counts d (s + cnt, s2 + (cnt * cnt)))
+      per_child
+  done;
+  (* Union-find over clusters. *)
+  let parent = Array.init ncl (fun c -> c) in
+  let rec find c = if parent.(c) = c then c else begin parent.(c) <- find parent.(c); parent.(c) end in
+  let live = Hashtbl.create ncl in
+  for c = 0 to ncl - 1 do
+    Hashtbl.replace live c ()
+  done;
+  let by_label = Hashtbl.create 64 in
+  for c = 0 to ncl - 1 do
+    let l = cluster_label.(c) in
+    Hashtbl.replace by_label l (c :: Option.value ~default:[] (Hashtbl.find_opt by_label l))
+  done;
+  let merge a b =
+    (* Keep the larger stats table as the survivor. *)
+    let a, b =
+      if Hashtbl.length stats.(a).counts >= Hashtbl.length stats.(b).counts then (a, b) else (b, a)
+    in
+    Hashtbl.iter
+      (fun d (s, s2) ->
+        let s', s2' = Option.value ~default:(0, 0) (Hashtbl.find_opt stats.(a).counts d) in
+        Hashtbl.replace stats.(a).counts d (s + s', s2 + s2'))
+      stats.(b).counts;
+    stats.(a).members <- stats.(a).members + stats.(b).members;
+    parent.(b) <- a;
+    Hashtbl.remove live b;
+    Hashtbl.reset stats.(b).counts
+  in
+  let current_memory () =
+    (* Count distinct (live cluster, merged child cluster) pairs. *)
+    let edges = ref 0 in
+    let seen = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun c () ->
+        Hashtbl.reset seen;
+        Hashtbl.iter
+          (fun d _ ->
+            let d = find d in
+            if not (Hashtbl.mem seen d) then begin
+              Hashtbl.replace seen d ();
+              incr edges
+            end)
+          stats.(c).counts)
+      live;
+    (8 * Hashtbl.length live) + (12 * !edges)
+  in
+  let rng = Xorshift.create seed in
+  (* Labels that still have >= 2 live clusters, as a sampling pool. *)
+  let mergeable_labels () =
+    Hashtbl.fold
+      (fun l clusters acc ->
+        let live_clusters = Tl_util.Prelude.list_unique ~cmp:compare (List.map find (List.filter (Hashtbl.mem live) clusters)) in
+        if List.length live_clusters >= 2 then (l, live_clusters) :: acc else acc)
+      by_label []
+  in
+  let rec merge_loop () =
+    if current_memory () > budget_bytes then begin
+      match mergeable_labels () with
+      | [] -> () (* label partition reached; cannot shrink further *)
+      | pools ->
+        let pools = Array.of_list pools in
+        (* Sample candidate same-label pairs, keep the least-distortion one. *)
+        let best = ref None in
+        for _ = 1 to candidate_sample do
+          let _, clusters = pools.(Xorshift.int rng (Array.length pools)) in
+          let arr = Array.of_list clusters in
+          if Array.length arr >= 2 then begin
+            let i = Xorshift.int rng (Array.length arr) in
+            let j = Xorshift.int rng (Array.length arr) in
+            if i <> j then begin
+              let a = arr.(i) and b = arr.(j) in
+              let delta = merged_sse stats.(a) stats.(b) -. sse stats.(a) -. sse stats.(b) in
+              match !best with
+              | Some (_, _, best_delta) when best_delta <= delta -> ()
+              | _ -> best := Some (a, b, delta)
+            end
+          end
+        done;
+        (match !best with
+        | Some (a, b, _) -> merge a b
+        | None ->
+          (* Sampling missed; force-merge the first available pair. *)
+          (match pools.(0) with
+          | _, a :: b :: _ -> merge a b
+          | _ -> ()));
+        merge_loop ()
+    end
+  in
+  merge_loop ();
+  (* --- phase 3: materialization ---------------------------------------- *)
+  let compact = Hashtbl.create (Hashtbl.length live) in
+  let order = Hashtbl.fold (fun c () acc -> c :: acc) live [] |> List.sort compare in
+  List.iteri (fun i c -> Hashtbl.replace compact c i) order;
+  let nfinal = List.length order in
+  let labels = Array.make nfinal 0 in
+  let sizes = Array.make nfinal 0 in
+  List.iteri
+    (fun i c ->
+      labels.(i) <- cluster_label.(c);
+      sizes.(i) <- stats.(c).members)
+    order;
+  let edge_sums : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  for v = 0 to n - 1 do
+    let src = Hashtbl.find compact (find assignment.(v)) in
+    Array.iter
+      (fun w ->
+        let dst = Hashtbl.find compact (find assignment.(w)) in
+        Hashtbl.replace edge_sums (src, dst) (1 + Option.value ~default:0 (Hashtbl.find_opt edge_sums (src, dst))))
+      (Data_tree.children tree v)
+  done;
+  let out_lists = Array.make nfinal [] in
+  Hashtbl.iter
+    (fun (src, dst) total ->
+      let w = float_of_int total /. float_of_int sizes.(src) in
+      out_lists.(src) <- (dst, w) :: out_lists.(src))
+    edge_sums;
+  let out_edges =
+    Array.map
+      (fun es ->
+        let arr = Array.of_list es in
+        Array.sort (fun (a, _) (b, _) -> compare a b) arr;
+        arr)
+      out_lists
+  in
+  let clusters_of_label = Hashtbl.create 64 in
+  Array.iteri
+    (fun i l ->
+      Hashtbl.replace clusters_of_label l (i :: Option.value ~default:[] (Hashtbl.find_opt clusters_of_label l)))
+    labels;
+  { Synopsis.labels; sizes; out_edges; clusters_of_label }

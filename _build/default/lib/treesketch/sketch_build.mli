@@ -1,0 +1,35 @@
+(** TreeSketches synopsis construction.
+
+    Three phases, following the published design:
+
+    + {e Stable partition.}  Start from the label partition and refine it by
+      count-stability — two nodes stay together only if they have the same
+      number of children in every child cluster — for a bounded number of
+      rounds (full stability explodes on real data; TreeSketches likewise
+      clusters {e similar}, not identical, fragments).
+    + {e Bottom-up clustering.}  While the synopsis exceeds the memory
+      budget, greedily merge the same-label cluster pair whose merge adds
+      the least squared-error distortion to the per-cluster child-count
+      distributions (sampling candidate pairs to keep each step bounded).
+      This clustering is the expensive part — the construction-time gap
+      against TreeLattice in Table 3 comes from here.
+    + {e Materialization.}  One pass over the document computes cluster
+      sizes and average-count edges for the final assignment.
+
+    The distortion metric is evaluated against the phase-1 partition (whose
+    per-node child counts are fixed), which keeps merge bookkeeping additive
+    and exact. *)
+
+val build :
+  ?budget_bytes:int ->
+  ?refine_rounds:int ->
+  ?candidate_sample:int ->
+  ?seed:int ->
+  Tl_tree.Data_tree.t ->
+  Synopsis.t
+(** [build tree] with a memory budget in bytes (default 50 KB, the paper's
+    setting).  [refine_rounds] caps count-stability refinement (default 4);
+    [candidate_sample] caps merge candidates evaluated per step (default
+    64).  The label partition is the coarsest reachable point: if it still
+    exceeds the budget, the build stops there (the paper observes exactly
+    this on IMDB). *)

@@ -1,0 +1,57 @@
+module Twig = Tl_twig.Twig
+
+(* Memoized DP over (query node, cluster); query nodes are identified by
+   their canonical preorder index. *)
+let make_evaluator synopsis twig =
+  let ix = Twig.index twig in
+  let qn = Array.length ix.Twig.node_labels in
+  let ncl = Synopsis.cluster_count synopsis in
+  let memo = Array.make (qn * ncl) (-1.0) in
+  let rec r q cluster =
+    if synopsis.Synopsis.labels.(cluster) <> ix.Twig.node_labels.(q) then 0.0
+    else begin
+      let key = (q * ncl) + cluster in
+      let cached = memo.(key) in
+      if cached >= 0.0 then cached
+      else begin
+        let value =
+          List.fold_left
+            (fun acc child ->
+              if acc = 0.0 then 0.0
+              else begin
+                let child_label = ix.Twig.node_labels.(child) in
+                let candidates =
+                  Option.value ~default:[]
+                    (Hashtbl.find_opt synopsis.Synopsis.clusters_of_label child_label)
+                in
+                let expected =
+                  List.fold_left
+                    (fun sum c' ->
+                      let w = Synopsis.weight synopsis cluster c' in
+                      if w = 0.0 then sum else sum +. (w *. r child c'))
+                    0.0 candidates
+                in
+                acc *. expected
+              end)
+            1.0 ix.Twig.kids.(q)
+        in
+        memo.(key) <- value;
+        value
+      end
+    end
+  in
+  (ix, r)
+
+let estimate synopsis twig =
+  let ix, r = make_evaluator synopsis twig in
+  let root_label = ix.Twig.node_labels.(0) in
+  let candidates =
+    Option.value ~default:[] (Hashtbl.find_opt synopsis.Synopsis.clusters_of_label root_label)
+  in
+  List.fold_left
+    (fun acc c -> acc +. (float_of_int synopsis.Synopsis.sizes.(c) *. r 0 c))
+    0.0 candidates
+
+let estimate_rooted synopsis twig cluster =
+  let _, r = make_evaluator synopsis twig in
+  r 0 cluster

@@ -1,0 +1,20 @@
+(** Twig selectivity estimation over a TreeSketches synopsis.
+
+    The expected number of matches of query subtree [q] rooted at a single
+    node of cluster [C] is
+
+    {v r(q, C) = prod over children c of q:
+                   sum over clusters C' with label(c):
+                     w(C -> C') * r(c, C') v}
+
+    and the total estimate is [sum over C with the root's label of
+    size(C) * r(root, C)] — the §5.3 example computes exactly this chain of
+    average-weight multiplications.  Same-label query siblings multiply
+    independently (the synopsis has no joint information), which is one of
+    the error sources the paper attributes to TreeSketches. *)
+
+val estimate : Synopsis.t -> Tl_twig.Twig.t -> float
+(** Estimated selectivity; 0 when the root label has no cluster. *)
+
+val estimate_rooted : Synopsis.t -> Tl_twig.Twig.t -> int -> float
+(** Expected matches rooted at one node of the given cluster. *)

@@ -1,0 +1,24 @@
+(** Text (de)serialization of TreeSketches synopses.
+
+    Like {!Tl_lattice.Summary_io}, the format embeds the label names so a
+    synopsis built against one document can be stored and reloaded:
+
+    {v
+    treesketch-synopsis v1 clusters=3 labels=2
+    a
+    b
+    cluster 0 0 4        (id, label id, size)
+    edge 0 1 3.25        (src, dst, average count)
+    v} *)
+
+val save : names:string array -> Synopsis.t -> string
+
+val save_file : names:string array -> string -> Synopsis.t -> unit
+
+exception Format_error of string
+
+val load : string -> Synopsis.t * string array
+(** Raises {!Format_error} on malformed input; the returned synopsis passes
+    {!Synopsis.validate}. *)
+
+val load_file : string -> Synopsis.t * string array

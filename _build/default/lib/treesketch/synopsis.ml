@@ -1,0 +1,50 @@
+type t = {
+  labels : int array;
+  sizes : int array;
+  out_edges : (int * float) array array;
+  clusters_of_label : (int, int list) Hashtbl.t;
+}
+
+let cluster_count t = Array.length t.labels
+
+let edge_count t = Array.fold_left (fun acc es -> acc + Array.length es) 0 t.out_edges
+
+let memory_bytes t = (8 * cluster_count t) + (12 * edge_count t)
+
+let node_count t = Array.fold_left ( + ) 0 t.sizes
+
+let weight t a b =
+  let edges = t.out_edges.(a) in
+  let n = Array.length edges in
+  let rec bisect lo hi =
+    if lo >= hi then 0.0
+    else begin
+      let mid = (lo + hi) / 2 in
+      let dst, w = edges.(mid) in
+      if dst = b then w else if dst < b then bisect (mid + 1) hi else bisect lo mid
+    end
+  in
+  bisect 0 n
+
+let validate t =
+  let n = cluster_count t in
+  let check_cluster c =
+    if t.sizes.(c) <= 0 then Error (Printf.sprintf "cluster %d has non-positive size" c)
+    else begin
+      let edges = t.out_edges.(c) in
+      let rec check_edges i =
+        if i >= Array.length edges then Ok ()
+        else begin
+          let dst, w = edges.(i) in
+          if dst < 0 || dst >= n then Error (Printf.sprintf "cluster %d: edge to unknown cluster %d" c dst)
+          else if w < 0.0 then Error (Printf.sprintf "cluster %d: negative edge weight" c)
+          else if i > 0 && fst edges.(i - 1) >= dst then
+            Error (Printf.sprintf "cluster %d: edges not strictly sorted" c)
+          else check_edges (i + 1)
+        end
+      in
+      check_edges 0
+    end
+  in
+  let rec check c = if c >= n then Ok () else match check_cluster c with Ok () -> check (c + 1) | e -> e in
+  check 0

@@ -1,0 +1,41 @@
+(** TreeSketches-style graph synopsis (the comparison baseline).
+
+    TreeSketches (Polyzotis, Garofalakis, Ioannidis; SIGMOD 2004) summarizes
+    an XML tree as a directed graph: each vertex is a cluster of same-label
+    elements, each edge [(A, B)] carries the {e average} number of
+    B-children per A-node (the structure the paper's Fig. 11(b) depicts).
+    The original executable is closed source; this module reimplements the
+    published design — see {!Sketch_build} for construction and
+    {!Sketch_estimate} for the expected-count estimation — faithfully
+    enough to reproduce the comparison axes of the paper's evaluation:
+    average-weight multiplication (and its error blow-up on skewed
+    fan-outs), clustering-dominated construction cost, and graph-DP
+    estimation cost. *)
+
+type t = {
+  labels : int array;  (** cluster id -> element label *)
+  sizes : int array;  (** cluster id -> number of document nodes *)
+  out_edges : (int * float) array array;
+      (** cluster id -> (child cluster, average count) sorted by child
+          cluster id *)
+  clusters_of_label : (int, int list) Hashtbl.t;
+}
+
+val cluster_count : t -> int
+
+val edge_count : t -> int
+
+val memory_bytes : t -> int
+(** The budget-accounting size: 8 bytes per cluster (label + size), 12 per
+    edge (endpoints + weight). *)
+
+val node_count : t -> int
+(** Total document nodes summarized (sum of cluster sizes). *)
+
+val weight : t -> int -> int -> float
+(** [weight t a b] is the average number of [b]-cluster children per
+    [a]-cluster node; 0 when no edge. *)
+
+val validate : t -> (unit, string) result
+(** Structural well-formedness (sizes positive, edges sorted, weights
+    non-negative); used by tests. *)

@@ -1,0 +1,1 @@
+lib/twig/dtwig.ml: Array Buffer Hashtbl List Option Printf Result String Tl_tree Twig

@@ -1,0 +1,1 @@
+lib/twig/dtwig.mli: Tl_tree Twig

@@ -1,0 +1,1 @@
+lib/twig/match_count.ml: Array Hashtbl List Option Tl_tree Twig

@@ -1,0 +1,1 @@
+lib/twig/match_count.mli: Tl_tree Twig

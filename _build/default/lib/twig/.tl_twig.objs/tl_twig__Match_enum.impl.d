@@ -1,0 +1,1 @@
+lib/twig/match_enum.ml: Array List Tl_tree Twig

@@ -1,0 +1,1 @@
+lib/twig/match_enum.mli: Tl_tree Twig

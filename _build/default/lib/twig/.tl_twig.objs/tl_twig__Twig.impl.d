@@ -1,0 +1,1 @@
+lib/twig/twig.ml: Array Buffer Hashtbl List Printf String

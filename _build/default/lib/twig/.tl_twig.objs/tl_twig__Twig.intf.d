@@ -1,0 +1,1 @@
+lib/twig/twig.mli:

@@ -1,0 +1,1 @@
+lib/twig/twig_enum.ml: Array Hashtbl List Tl_tree Tl_util Twig

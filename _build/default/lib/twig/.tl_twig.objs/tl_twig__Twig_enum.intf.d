@@ -1,0 +1,1 @@
+lib/twig/twig_enum.mli: Tl_tree Tl_util Twig

@@ -1,0 +1,1 @@
+lib/twig/twig_parse.ml: List Printexc Printf Result String Twig

@@ -1,0 +1,1 @@
+lib/twig/xpath.ml: List Printf Result String Twig_parse

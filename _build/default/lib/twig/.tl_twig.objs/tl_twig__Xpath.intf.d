@@ -1,0 +1,1 @@
+lib/twig/xpath.mli: Twig Twig_parse

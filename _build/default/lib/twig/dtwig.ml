@@ -1,0 +1,236 @@
+module Data_tree = Tl_tree.Data_tree
+
+type edge = Child | Descendant
+
+type t = { label : int; children : (edge * t) list }
+
+let leaf label = { label; children = [] }
+
+let node label children = { label; children }
+
+let rec of_twig (tw : Twig.t) =
+  { label = tw.Twig.label; children = List.map (fun c -> (Child, of_twig c)) tw.Twig.children }
+
+let rec to_twig t =
+  let rec convert acc = function
+    | [] -> Some (List.rev acc)
+    | (Child, c) :: rest -> (
+      match to_twig c with Some c' -> convert (c' :: acc) rest | None -> None)
+    | (Descendant, _) :: _ -> None
+  in
+  Option.map (Twig.node t.label) (convert [] t.children)
+
+let rec size t = List.fold_left (fun acc (_, c) -> acc + size c) 1 t.children
+
+let rec canon t =
+  let kids = List.map (fun (e, c) -> let c', enc = canon c in ((e, c'), (e, enc))) t.children in
+  let kids = List.sort (fun (_, k1) (_, k2) -> compare k1 k2) kids in
+  let render (e, enc) = (match e with Child -> "" | Descendant -> "~") ^ enc in
+  let enc =
+    match kids with
+    | [] -> string_of_int t.label
+    | _ -> string_of_int t.label ^ "(" ^ String.concat "," (List.map (fun (_, k) -> render k) kids) ^ ")"
+  in
+  ({ label = t.label; children = List.map fst kids }, enc)
+
+let canonicalize t = fst (canon t)
+
+let encode t = snd (canon t)
+
+let equal a b = String.equal (encode a) (encode b)
+
+let pp ~names t =
+  let buf = Buffer.create 64 in
+  let rec go t =
+    Buffer.add_string buf (names t.label);
+    match t.children with
+    | [] -> ()
+    | kids ->
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i (e, c) ->
+          if i > 0 then Buffer.add_char buf ',';
+          if e = Descendant then Buffer.add_string buf "//";
+          go c)
+        kids;
+      Buffer.add_char buf ')'
+  in
+  go t;
+  Buffer.contents buf
+
+(* --- parsing --------------------------------------------------------------- *)
+
+let parse ~intern input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let error fmt = Printf.ksprintf (fun m -> Error (Printf.sprintf "offset %d: %s" !pos m)) fmt in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (input.[!pos] = ' ' || input.[!pos] = '\t' || input.[!pos] = '\n') do
+      incr pos
+    done
+  in
+  let is_tag_char = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' -> true
+    | _ -> false
+  in
+  let ( let* ) = Result.bind in
+  let rec scan_node () =
+    skip_ws ();
+    let start = !pos in
+    while !pos < n && is_tag_char input.[!pos] do
+      incr pos
+    done;
+    let tag = String.sub input start (!pos - start) in
+    if tag = "" then error "expected a tag name"
+    else begin
+      match intern tag with
+      | None -> Error (Printf.sprintf "unknown tag %S" tag)
+      | Some label ->
+        skip_ws ();
+        (match peek () with
+        | Some '(' ->
+          incr pos;
+          let* kids = scan_kids [] in
+          skip_ws ();
+          (match peek () with
+          | Some ')' ->
+            incr pos;
+            Ok { label; children = List.rev kids }
+          | _ -> error "expected ')'")
+        | _ -> Ok { label; children = [] })
+    end
+  and scan_kids acc =
+    skip_ws ();
+    let edge =
+      if !pos + 1 < n && input.[!pos] = '/' && input.[!pos + 1] = '/' then begin
+        pos := !pos + 2;
+        Descendant
+      end
+      else Child
+    in
+    let* child = scan_node () in
+    skip_ws ();
+    match peek () with
+    | Some ',' ->
+      incr pos;
+      scan_kids ((edge, child) :: acc)
+    | _ -> Ok ((edge, child) :: acc)
+  in
+  let* result = scan_node () in
+  skip_ws ();
+  if !pos <> n then error "trailing input" else Ok (canonicalize result)
+
+(* --- counting ------------------------------------------------------------------ *)
+
+(* Indexed query: per node, its sibling groups keyed by label; each group
+   member carries its edge axis.  Injectivity is enforced within each
+   group (which matches Definition 1 exactly for parent-child twigs; for
+   descendant twigs it is the standard sibling-distinct semantics —
+   same-label query nodes under *different* parents are not compared). *)
+type qnode = { qlabel : int; groups : (int * (edge * int) array) array }
+
+let prepare query =
+  let query = canonicalize query in
+  let nodes = ref [] in
+  let next = ref 0 in
+  let rec walk q =
+    let id = !next in
+    incr next;
+    let kid_ids = List.map (fun (e, c) -> (e, walk c)) q.children in
+    nodes := (id, q, kid_ids) :: !nodes;
+    id
+  in
+  ignore (walk query);
+  let n = !next in
+  let qnodes = Array.make n { qlabel = 0; groups = [||] } in
+  List.iter
+    (fun (id, q, kid_ids) ->
+      let by_label = Hashtbl.create 4 in
+      List.iter2
+        (fun (_, c) (e, cid) ->
+          let l = c.label in
+          Hashtbl.replace by_label l ((e, cid) :: Option.value ~default:[] (Hashtbl.find_opt by_label l)))
+        q.children kid_ids;
+      let groups =
+        Hashtbl.fold (fun l members acc -> (l, Array.of_list (List.rev members)) :: acc) by_label []
+      in
+      qnodes.(id) <- { qlabel = q.label; groups = Array.of_list groups })
+    !nodes;
+  qnodes
+
+let run tree query =
+  let qnodes = prepare query in
+  let qn = Array.length qnodes in
+  let memo : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let rec node_count v q =
+    let key = (v * qn) + q in
+    match Hashtbl.find_opt memo key with
+    | Some c -> c
+    | None ->
+      let { groups; _ } = qnodes.(q) in
+      let total = ref 1 in
+      let gi = ref 0 in
+      while !total <> 0 && !gi < Array.length groups do
+        let group_label, members = groups.(!gi) in
+        total := !total * group_count group_label members v;
+        incr gi
+      done;
+      Hashtbl.replace memo key !total;
+      !total
+  and group_count group_label members v =
+    let m = Array.length members in
+    let all_child = Array.for_all (fun (e, _) -> e = Child) members in
+    if m = 1 then begin
+      let e, q = members.(0) in
+      match e with
+      | Child ->
+        Data_tree.fold_children_with_label tree v group_label
+          (fun acc w -> acc + (if Data_tree.label tree w = qnodes.(q).qlabel then node_count w q else 0))
+          0
+      | Descendant ->
+        Data_tree.fold_descendants_with_label tree v group_label
+          (fun acc w -> acc + node_count w q)
+          0
+    end
+    else begin
+      (* Mask DP over group members; a Child member can only take direct
+         children of v. *)
+      let full = (1 lsl m) - 1 in
+      let ways = Array.make (full + 1) 0 in
+      ways.(0) <- 1;
+      let absorb w =
+        let w_is_child = Data_tree.parent tree w = Some v in
+        for mask = full downto 1 do
+          let acc = ref ways.(mask) in
+          for i = 0 to m - 1 do
+            if mask land (1 lsl i) <> 0 then begin
+              let e, q = members.(i) in
+              if e = Descendant || w_is_child then begin
+                let sub = node_count w q in
+                if sub <> 0 then acc := !acc + (ways.(mask lxor (1 lsl i)) * sub)
+              end
+            end
+          done;
+          ways.(mask) <- !acc
+        done
+      in
+      if all_child then Data_tree.fold_children_with_label tree v group_label (fun () w -> absorb w) ()
+      else Data_tree.fold_descendants_with_label tree v group_label (fun () w -> absorb w) ();
+      ways.(full)
+    end
+  in
+  (qnodes, node_count)
+
+let selectivity tree query =
+  let query = canonicalize query in
+  let qnodes, node_count = run tree query in
+  Array.fold_left
+    (fun acc v -> acc + node_count v 0)
+    0
+    (Data_tree.nodes_with_label tree qnodes.(0).qlabel)
+
+let selectivity_rooted tree query v =
+  let query = canonicalize query in
+  let qnodes, node_count = run tree query in
+  if Data_tree.label tree v = qnodes.(0).qlabel then node_count v 0 else 0

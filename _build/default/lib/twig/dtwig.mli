@@ -1,0 +1,48 @@
+(** Twig queries with descendant edges — evaluation-side support for the
+    general twig-query class (e.g. [//open_auction[.//increase]]).
+
+    The paper's estimation framework models parent-child twigs only; this
+    module extends the {e evaluation} machinery (exact counting, the other
+    half of an approximate-query system) to edges of either axis.  A match
+    maps query nodes to distinct data nodes such that a [Child] edge lands
+    on a child and a [Descendant] edge lands on a strict descendant of the
+    parent's image.
+
+    Estimation of descendant twigs from a parent-child lattice needs
+    descendant statistics the paper's summary does not carry; the module
+    therefore offers exact counting only. *)
+
+type edge = Child | Descendant
+
+type t = { label : int; children : (edge * t) list }
+
+val leaf : int -> t
+
+val node : int -> (edge * t) list -> t
+
+val of_twig : Twig.t -> t
+(** All edges [Child]. *)
+
+val to_twig : t -> Twig.t option
+(** [Some] structural twig when every edge is [Child]. *)
+
+val size : t -> int
+
+val canonicalize : t -> t
+
+val equal : t -> t -> bool
+
+val encode : t -> string
+(** Canonical key; descendant edges render with a [~] prefix. *)
+
+val pp : names:(int -> string) -> t -> string
+(** Syntax: [a(b,//c(d))] — a leading [//] marks a descendant edge. *)
+
+val parse : intern:(string -> int option) -> string -> (t, string) result
+(** The twig syntax extended with [//] before a child. *)
+
+val selectivity : Tl_tree.Data_tree.t -> t -> int
+(** Exact number of matches (injective within same-parent sibling groups,
+    as Definition 1). *)
+
+val selectivity_rooted : Tl_tree.Data_tree.t -> t -> Tl_tree.Data_tree.node -> int

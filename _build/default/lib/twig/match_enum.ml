@@ -1,0 +1,95 @@
+module Data_tree = Tl_tree.Data_tree
+
+(* Backtracking over the twig's canonical preorder.  Because preorder
+   assigns parents before children, the candidate set for query node [q] is
+   always the matching-label children of the already-assigned image of
+   [q]'s parent.  Injectivity only needs checking among query siblings: the
+   images of distinct query parents are distinct by induction, so their
+   child sets are disjoint. *)
+
+let fold_matches tree twig ~init ~f =
+  let ix = Twig.index (Twig.canonicalize twig) in
+  let qn = Array.length ix.Twig.node_labels in
+  let assignment = Array.make qn (-1) in
+  let acc = ref init in
+  let stop = ref false in
+  let rec extend q =
+    if !stop then ()
+    else if q = qn then begin
+      match f !acc (Array.copy assignment) with
+      | `Stop updated ->
+        acc := updated;
+        stop := true
+      | `Continue updated -> acc := updated
+    end
+    else begin
+      let parent_image = assignment.(ix.Twig.parents.(q)) in
+      let label = ix.Twig.node_labels.(q) in
+      Data_tree.fold_children_with_label tree parent_image label
+        (fun () candidate ->
+          if not !stop then begin
+            (* Sibling injectivity: candidate must differ from the images of
+               earlier same-parent query nodes. *)
+            let clashes = ref false in
+            List.iter
+              (fun sibling ->
+                if sibling < q && assignment.(sibling) = candidate then clashes := true)
+              ix.Twig.kids.(ix.Twig.parents.(q));
+            if not !clashes then begin
+              assignment.(q) <- candidate;
+              extend (q + 1);
+              assignment.(q) <- -1
+            end
+          end)
+        ()
+    end
+  in
+  let root_label = ix.Twig.node_labels.(0) in
+  Array.iter
+    (fun v ->
+      if not !stop then begin
+        assignment.(0) <- v;
+        extend 1;
+        assignment.(0) <- -1
+      end)
+    (Data_tree.nodes_with_label tree root_label);
+  !acc
+
+let enumerate ?(limit = max_int) tree twig =
+  if limit < 0 then invalid_arg "Match_enum.enumerate: negative limit";
+  if limit = 0 then []
+  else begin
+    let matches, _ =
+      fold_matches tree twig ~init:([], 0) ~f:(fun (acc, n) assignment ->
+          let n = n + 1 in
+          if n >= limit then `Stop (assignment :: acc, n) else `Continue (assignment :: acc, n))
+    in
+    List.rev matches
+  end
+
+let count_via_enumeration tree twig =
+  fold_matches tree twig ~init:0 ~f:(fun n _ -> `Continue (n + 1))
+
+let is_match tree twig assignment =
+  let ix = Twig.index (Twig.canonicalize twig) in
+  let qn = Array.length ix.Twig.node_labels in
+  Array.length assignment = qn
+  && begin
+       let ok = ref true in
+       for q = 0 to qn - 1 do
+         let v = assignment.(q) in
+         if v < 0 || v >= Data_tree.size tree then ok := false
+         else begin
+           if Data_tree.label tree v <> ix.Twig.node_labels.(q) then ok := false;
+           let p = ix.Twig.parents.(q) in
+           if p >= 0 && Data_tree.parent tree v <> Some assignment.(p) then ok := false
+         end
+       done;
+       (* Global injectivity. *)
+       let sorted = Array.copy assignment in
+       Array.sort compare sorted;
+       for i = 0 to qn - 2 do
+         if sorted.(i) = sorted.(i + 1) then ok := false
+       done;
+       !ok
+     end

@@ -1,0 +1,23 @@
+(** Enumeration of twig matches — the evaluation-side companion of
+    {!Match_count}.
+
+    Selectivity estimation prices a query; this module actually answers it,
+    producing the 1-1 mappings of Definition 1.  Used by the CLI's [match]
+    command, by examples that display results, and by tests as yet another
+    independent check of the counting engine (the number of enumerated
+    matches must equal the DP count). *)
+
+val enumerate : ?limit:int -> Tl_tree.Data_tree.t -> Twig.t -> Tl_tree.Data_tree.node array list
+(** [enumerate tree twig] lists matches of the (canonicalized) twig; each
+    match maps the twig's canonical preorder index to a data node (index 0
+    is the twig root).  Matches are produced in document order of the root
+    node, at most [limit] of them (default: all).  Raises
+    [Invalid_argument] if [limit < 0]. *)
+
+val count_via_enumeration : Tl_tree.Data_tree.t -> Twig.t -> int
+(** [List.length (enumerate tree twig)] without building the list — a slow
+    but independent oracle for {!Match_count.selectivity}. *)
+
+val is_match : Tl_tree.Data_tree.t -> Twig.t -> Tl_tree.Data_tree.node array -> bool
+(** Validate a candidate mapping: labels match, parent-child edges are
+    preserved, and the mapping is injective. *)

@@ -1,0 +1,228 @@
+type t = { label : int; children : t list }
+
+let leaf label = { label; children = [] }
+
+let node label children = { label; children }
+
+let rec size t = List.fold_left (fun acc c -> acc + size c) 1 t.children
+
+let rec depth t = 1 + List.fold_left (fun acc c -> max acc (depth c)) 0 t.children
+
+let rec width t = List.fold_left (fun acc c -> max acc (width c)) (List.length t.children) t.children
+
+let labels t =
+  let rec go acc t = List.fold_left go (t.label :: acc) t.children in
+  List.rev (go [] t)
+
+(* Canonicalization sorts children by encoding bottom-up.  To avoid
+   re-encoding subtrees quadratically, [canon] returns the encoding along
+   with the rebuilt node. *)
+let rec canon t =
+  let kids = List.map canon t.children in
+  let kids = List.sort (fun (_, e1) (_, e2) -> String.compare e1 e2) kids in
+  let enc =
+    match kids with
+    | [] -> string_of_int t.label
+    | _ ->
+      let inner = String.concat "," (List.map snd kids) in
+      string_of_int t.label ^ "(" ^ inner ^ ")"
+  in
+  ({ label = t.label; children = List.map fst kids }, enc)
+
+let canonicalize t = fst (canon t)
+
+let encode t = snd (canon t)
+
+let is_canonical t = canonicalize t = t
+
+let compare a b = String.compare (encode a) (encode b)
+
+let equal a b = compare a b = 0
+
+let hash t = Hashtbl.hash (encode t)
+
+let decode s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = invalid_arg (Printf.sprintf "Twig.decode: %s at offset %d in %S" msg !pos s) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let scan_int () =
+    let start = !pos in
+    while !pos < n && (match s.[!pos] with '0' .. '9' -> true | _ -> false) do
+      incr pos
+    done;
+    if !pos = start then fail "expected a label id";
+    int_of_string (String.sub s start (!pos - start))
+  in
+  let rec scan_node () =
+    let label = scan_int () in
+    match peek () with
+    | Some '(' ->
+      incr pos;
+      let kids = scan_kids [] in
+      (match peek () with
+      | Some ')' ->
+        incr pos;
+        { label; children = List.rev kids }
+      | _ -> fail "expected ')'")
+    | _ -> { label; children = [] }
+  and scan_kids acc =
+    let child = scan_node () in
+    match peek () with
+    | Some ',' ->
+      incr pos;
+      scan_kids (child :: acc)
+    | _ -> child :: acc
+  in
+  let t = scan_node () in
+  if !pos <> n then fail "trailing input";
+  t
+
+let rec map_labels f t = { label = f t.label; children = List.map (map_labels f) t.children }
+
+let rec is_path t =
+  match t.children with [] -> true | [ c ] -> is_path c | _ :: _ :: _ -> false
+
+let path_labels t =
+  let rec go acc t =
+    match t.children with
+    | [] -> Some (List.rev (t.label :: acc))
+    | [ c ] -> go (t.label :: acc) c
+    | _ :: _ :: _ -> None
+  in
+  go [] t
+
+let of_path = function
+  | [] -> invalid_arg "Twig.of_path: empty label list"
+  | labels ->
+    let rec build = function
+      | [] -> assert false
+      | [ l ] -> leaf l
+      | l :: rest -> node l [ build rest ]
+    in
+    build labels
+
+let rec factorial n = if n <= 1 then 1 else n * factorial (n - 1)
+
+let automorphisms t =
+  (* aut(t) = prod_children aut(c) * prod over groups of identical child
+     encodings of (multiplicity!). *)
+  let rec go t =
+    let kids = List.map (fun c -> (encode c, c)) t.children in
+    let kids = List.sort (fun (e1, _) (e2, _) -> String.compare e1 e2) kids in
+    let child_product = List.fold_left (fun acc c -> acc * go c) 1 t.children in
+    let rec group_mults acc run = function
+      | [] -> run :: acc
+      | (e1, _) :: ((e2, _) :: _ as rest) when String.equal e1 e2 -> group_mults acc (run + 1) rest
+      | _ :: rest -> group_mults (run :: acc) 1 rest
+    in
+    let mults = match kids with [] -> [] | _ -> group_mults [] 1 kids in
+    List.fold_left (fun acc m -> acc * factorial m) child_product mults
+  in
+  go t
+
+let pp ~names t =
+  let buf = Buffer.create 64 in
+  let rec go t =
+    Buffer.add_string buf (names t.label);
+    match t.children with
+    | [] -> ()
+    | kids ->
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i c ->
+          if i > 0 then Buffer.add_char buf ',';
+          go c)
+        kids;
+      Buffer.add_char buf ')'
+  in
+  go t;
+  Buffer.contents buf
+
+(* --- node-indexed view --------------------------------------------------- *)
+
+type indexed = {
+  twig : t;
+  node_labels : int array;
+  parents : int array;
+  kids : int list array;
+}
+
+let index t =
+  let t = canonicalize t in
+  let n = size t in
+  let node_labels = Array.make n 0 in
+  let parents = Array.make n (-1) in
+  let kids = Array.make n [] in
+  let next = ref 0 in
+  let rec walk parent node =
+    let id = !next in
+    incr next;
+    node_labels.(id) <- node.label;
+    parents.(id) <- parent;
+    if parent >= 0 then kids.(parent) <- kids.(parent) @ [ id ];
+    List.iter (walk id) node.children
+  in
+  walk (-1) t;
+  { twig = t; node_labels; parents; kids }
+
+let degree_one ix =
+  let n = Array.length ix.node_labels in
+  let result = ref [] in
+  for i = n - 1 downto 0 do
+    let nkids = List.length ix.kids.(i) in
+    let deg = if ix.parents.(i) < 0 then nkids else nkids + 1 in
+    if deg = 1 then result := i :: !result
+  done;
+  !result
+
+(* Rebuild the twig from the index arrays, excluding a set of nodes and
+   optionally re-rooting. *)
+let rebuild ix ~keep ~root =
+  let rec build i =
+    let children = List.filter_map (fun c -> if keep c then Some (build c) else None) ix.kids.(i) in
+    { label = ix.node_labels.(i); children }
+  in
+  canonicalize (build root)
+
+let remove ix i =
+  let n = Array.length ix.node_labels in
+  if n <= 1 then invalid_arg "Twig.remove: cannot remove from a single-node twig";
+  if i < 0 || i >= n then invalid_arg "Twig.remove: index out of bounds";
+  let nkids = List.length ix.kids.(i) in
+  let deg = if ix.parents.(i) < 0 then nkids else nkids + 1 in
+  if deg <> 1 then invalid_arg "Twig.remove: node is not degree-1";
+  if ix.parents.(i) < 0 then begin
+    (* Root with a single child: promote the child. *)
+    match ix.kids.(i) with
+    | [ c ] -> rebuild ix ~keep:(fun j -> j <> i) ~root:c
+    | _ -> assert false
+  end
+  else rebuild ix ~keep:(fun j -> j <> i) ~root:0
+
+let induced ix nodes =
+  (match nodes with [] -> invalid_arg "Twig.induced: empty node set" | _ -> ());
+  let n = Array.length ix.node_labels in
+  let in_set = Array.make n false in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= n then invalid_arg "Twig.induced: index out of bounds";
+      in_set.(i) <- true)
+    nodes;
+  let root = List.fold_left min (List.hd nodes) nodes in
+  List.iter
+    (fun i ->
+      if i <> root && (ix.parents.(i) < 0 || not in_set.(ix.parents.(i))) then
+        invalid_arg "Twig.induced: node set is not connected")
+    nodes;
+  rebuild ix ~keep:(fun j -> in_set.(j)) ~root
+
+let grow ix i l =
+  let n = Array.length ix.node_labels in
+  if i < 0 || i >= n then invalid_arg "Twig.grow: index out of bounds";
+  let rec build j =
+    let children = List.map build ix.kids.(j) in
+    let children = if j = i then leaf l :: children else children in
+    { label = ix.node_labels.(j); children }
+  in
+  canonicalize (build 0)

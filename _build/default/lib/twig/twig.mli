@@ -1,0 +1,108 @@
+(** Twig queries (the paper's [T_Q], §2.1).
+
+    A twig is a rooted unordered node-labeled tree.  Labels are interned
+    integers (normally shared with a {!Tl_tree.Data_tree.t}'s interner).
+    Twigs are small — queries in the paper's workloads have 4 to 9 nodes —
+    so the operations here favour clarity over asymptotics.
+
+    {2 Canonical form}
+
+    Twig matching ignores sibling order, so structurally equal twigs must
+    compare equal regardless of how children were listed.  The canonical
+    form orders every child list by the children's canonical encodings; the
+    encoding (a bracketed string over label ids) is injective on canonical
+    twigs and is used as the lattice hash key. *)
+
+type t = { label : int; children : t list }
+
+val leaf : int -> t
+
+val node : int -> t list -> t
+
+val size : t -> int
+(** Number of nodes. *)
+
+val depth : t -> int
+(** Height in nodes; a single node has depth 1. *)
+
+val width : t -> int
+(** Maximum number of children of any node. *)
+
+val labels : t -> int list
+(** All labels, in preorder, with repetitions. *)
+
+val canonicalize : t -> t
+(** Sort every child list by canonical encoding, bottom-up.  Idempotent. *)
+
+val is_canonical : t -> bool
+
+val encode : t -> string
+(** Canonical key: canonicalizes, then prints as e.g. ["3(1,4(2))"]. *)
+
+val decode : string -> t
+(** Inverse of {!encode}.  Raises [Invalid_argument] on malformed input.
+    The result is canonical iff the input was produced by {!encode}. *)
+
+val compare : t -> t -> int
+(** Total order agreeing with structural equality modulo sibling order. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val map_labels : (int -> int) -> t -> t
+(** Relabel; the result is {e not} re-canonicalized. *)
+
+val is_path : t -> bool
+(** True when every node has at most one child. *)
+
+val path_labels : t -> int list option
+(** For a path twig, its labels root-to-leaf. *)
+
+val of_path : int list -> t
+(** Build a path twig.  Raises [Invalid_argument] on an empty list. *)
+
+val automorphisms : t -> int
+(** Number of root-preserving automorphisms — the product over nodes of the
+    factorials of identical-child-subtree multiplicities.  Relates
+    injective-match counts to occurrence-subset counts in tests. *)
+
+val pp : names:(int -> string) -> t -> string
+(** Render with tag names, e.g. ["a(b,c(d))"]. *)
+
+(** {2 Node-indexed view}
+
+    Decomposition needs to address individual twig nodes.  The indexed view
+    exposes the canonical preorder: node 0 is the root, children appear in
+    canonical order.  All indices below refer to this preorder. *)
+
+type indexed = private {
+  twig : t;  (** the canonical twig the indices refer to *)
+  node_labels : int array;
+  parents : int array;  (** [-1] for the root *)
+  kids : int list array;  (** children, in canonical preorder *)
+}
+
+val index : t -> indexed
+(** Canonicalizes, then indexes. *)
+
+val degree_one : indexed -> int list
+(** Preorder indices of nodes of degree 1: the leaves, plus the root when it
+    has exactly one child.  These are the removable nodes of the recursive
+    decomposition (§3.2).  For a twig of size >= 2 there are always at least
+    two. *)
+
+val remove : indexed -> int -> t
+(** [remove ix i] removes the degree-1 node [i]: dropping a leaf, or
+    promoting the root's only child when [i] is the root.  The result is
+    canonical.  Raises [Invalid_argument] when [i] is not degree-1 or the
+    twig has a single node. *)
+
+val induced : indexed -> int list -> t
+(** [induced ix nodes] is the subtree induced by the given preorder indices,
+    which must be non-empty and connected (contain, for each non-minimal
+    node, its parent).  Raises [Invalid_argument] otherwise.  Canonical. *)
+
+val grow : indexed -> int -> int -> t
+(** [grow ix i l] attaches a fresh [l]-labeled leaf under node [i];
+    canonical result.  This is the miner's extension step. *)

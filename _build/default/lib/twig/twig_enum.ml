@@ -1,0 +1,83 @@
+module Data_tree = Tl_tree.Data_tree
+
+let occurrences tree ~max_size =
+  if max_size < 1 then invalid_arg "Twig_enum.occurrences: max_size must be >= 1";
+  let tally : (string, Twig.t * int) Hashtbl.t = Hashtbl.create 256 in
+  let record twig =
+    let key = Twig.encode twig in
+    match Hashtbl.find_opt tally key with
+    | Some (t, c) -> Hashtbl.replace tally key (t, c + 1)
+    | None -> Hashtbl.replace tally key (Twig.canonicalize twig, 1)
+  in
+  (* All shapes rooted at [v] with at most [budget] nodes, via independent
+     include/choose decisions per child — each connected node subset is
+     produced exactly once. *)
+  let rec shapes v budget =
+    if budget <= 0 then []
+    else begin
+      let kids = Data_tree.children tree v in
+      let nkids = Array.length kids in
+      (* Selections of child subtrees from kids.(i..): (children, total size). *)
+      let rec sel i budget =
+        if i >= nkids then [ ([], 0) ]
+        else begin
+          let skip = sel (i + 1) budget in
+          let take =
+            List.concat_map
+              (fun (t, s) ->
+                List.map (fun (ts, total) -> (t :: ts, total + s)) (sel (i + 1) (budget - s)))
+              (shapes kids.(i) budget)
+          in
+          skip @ take
+        end
+      in
+      List.map
+        (fun (children, s) -> (Twig.node (Data_tree.label tree v) children, s + 1))
+        (sel 0 (budget - 1))
+    end
+  in
+  Data_tree.iter_nodes tree (fun v -> List.iter (fun (t, _) -> record t) (shapes v max_size));
+  Hashtbl.fold (fun _ entry acc -> entry :: acc) tally []
+  |> List.sort (fun (a, _) (b, _) -> Twig.compare a b)
+
+let selectivities tree ~max_size =
+  List.map (fun (t, c) -> (t, c * Twig.automorphisms t)) (occurrences tree ~max_size)
+
+let shape_of_set tree set root =
+  let rec build v =
+    let children =
+      Array.to_list (Data_tree.children tree v)
+      |> List.filter_map (fun c -> if Hashtbl.mem set c then Some (build c) else None)
+    in
+    Twig.node (Data_tree.label tree v) children
+  in
+  Twig.canonicalize (build root)
+
+let random_subtree rng tree ~size =
+  if size < 1 then invalid_arg "Twig_enum.random_subtree: size must be >= 1";
+  let n = Data_tree.size tree in
+  if size > n then None
+  else begin
+    let attempt () =
+      let root = Tl_util.Xorshift.int rng n in
+      let set = Hashtbl.create size in
+      Hashtbl.replace set root ();
+      let frontier = ref (Array.to_list (Data_tree.children tree root)) in
+      let rec grow remaining =
+        if remaining = 0 then true
+        else
+          match !frontier with
+          | [] -> false
+          | _ ->
+            let arr = Array.of_list !frontier in
+            let pick = arr.(Tl_util.Xorshift.int rng (Array.length arr)) in
+            frontier := List.filter (fun v -> v <> pick) !frontier;
+            Hashtbl.replace set pick ();
+            frontier := Array.to_list (Data_tree.children tree pick) @ !frontier;
+            grow (remaining - 1)
+      in
+      if grow (size - 1) then Some (shape_of_set tree set root) else None
+    in
+    let rec retry k = if k = 0 then None else match attempt () with Some t -> Some t | None -> retry (k - 1) in
+    retry 32
+  end

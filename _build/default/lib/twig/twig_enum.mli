@@ -1,0 +1,27 @@
+(** Brute-force subtree enumeration — a test oracle and workload helper.
+
+    [occurrences] enumerates every connected node subset of the data tree
+    (each subset is the image of a potential twig match) and tallies them by
+    canonical shape.  The injective-match selectivity of a pattern equals
+    its subset count times its automorphism count, which gives an
+    independent cross-check of both the DP counter and the miner.
+
+    Enumeration is exponential in fan-out; it is intended for the small
+    trees used in tests and for sampling-based workload generation, not for
+    full datasets. *)
+
+val occurrences : Tl_tree.Data_tree.t -> max_size:int -> (Twig.t * int) list
+(** All occurring patterns of size [<= max_size] with their {e subset}
+    counts (number of distinct node sets of that shape), sorted by canonical
+    encoding.  Raises [Invalid_argument] if [max_size < 1]. *)
+
+val selectivities : Tl_tree.Data_tree.t -> max_size:int -> (Twig.t * int) list
+(** Same patterns with injective-match counts
+    (subset count x automorphisms). *)
+
+val random_subtree :
+  Tl_util.Xorshift.t -> Tl_tree.Data_tree.t -> size:int -> Twig.t option
+(** Sample one occurring pattern of exactly [size] nodes by growing a random
+    connected node set from a uniformly chosen root.  [None] when the tree
+    has no connected subset of that size rooted at the sampled node after a
+    bounded number of attempts. *)

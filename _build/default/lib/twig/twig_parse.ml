@@ -1,0 +1,91 @@
+type ast = { tag : string; kids : ast list }
+
+exception Syntax_error of int * string
+
+let () =
+  Printexc.register_printer (function
+    | Syntax_error (off, msg) -> Some (Printf.sprintf "twig syntax error at offset %d: %s" off msg)
+    | _ -> None)
+
+let is_tag_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' -> true
+  | _ -> false
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Syntax_error (!pos, msg)) in
+  let skip_ws () =
+    while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t' || s.[!pos] = '\n' || s.[!pos] = '\r') do
+      incr pos
+    done
+  in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let scan_tag () =
+    skip_ws ();
+    let start = !pos in
+    while !pos < n && is_tag_char s.[!pos] do
+      incr pos
+    done;
+    if !pos = start then fail "expected a tag name";
+    String.sub s start (!pos - start)
+  in
+  let rec scan_node () =
+    let tag = scan_tag () in
+    skip_ws ();
+    match peek () with
+    | Some '(' ->
+      incr pos;
+      let kids = scan_kids [] in
+      skip_ws ();
+      (match peek () with
+      | Some ')' ->
+        incr pos;
+        { tag; kids = List.rev kids }
+      | _ -> fail "expected ')'")
+    | _ -> { tag; kids = [] }
+  and scan_kids acc =
+    let child = scan_node () in
+    skip_ws ();
+    match peek () with
+    | Some ',' ->
+      incr pos;
+      scan_kids (child :: acc)
+    | _ -> child :: acc
+  in
+  let skip_then_node () =
+    skip_ws ();
+    let t = scan_node () in
+    skip_ws ();
+    t
+  in
+  let ast = skip_then_node () in
+  if !pos <> n then fail "trailing input after the twig";
+  ast
+
+let rec to_string ast =
+  match ast.kids with
+  | [] -> ast.tag
+  | kids -> ast.tag ^ "(" ^ String.concat "," (List.map to_string kids) ^ ")"
+
+let to_twig ~intern ast =
+  let rec go ast =
+    match intern ast.tag with
+    | None -> Error ast.tag
+    | Some label ->
+      let rec convert_kids acc = function
+        | [] -> Ok (List.rev acc)
+        | k :: rest -> ( match go k with Ok t -> convert_kids (t :: acc) rest | Error _ as e -> e)
+      in
+      (match convert_kids [] ast.kids with
+      | Ok children -> Ok (Twig.node label children)
+      | Error _ as e -> e)
+  in
+  Result.map Twig.canonicalize (go ast)
+
+let rec of_twig ~names (t : Twig.t) = { tag = names t.label; kids = List.map (of_twig ~names) t.children }
+
+let parse_twig ~intern s =
+  match parse s with
+  | exception Syntax_error (off, msg) -> Error (Printf.sprintf "syntax error at offset %d: %s" off msg)
+  | ast -> ( match to_twig ~intern ast with Ok t -> Ok t | Error tag -> Error (Printf.sprintf "unknown tag %S" tag))

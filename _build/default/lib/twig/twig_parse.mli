@@ -1,0 +1,28 @@
+(** Textual twig syntax over tag names.
+
+    Queries are written as [tag(child,child(grandchild))], e.g. the paper's
+    Fig. 1(b) twig is [laptop(brand,price)].  Whitespace between tokens is
+    ignored.  This is the user-facing syntax; {!Twig.t} works over interned
+    label ids. *)
+
+type ast = { tag : string; kids : ast list }
+
+exception Syntax_error of int * string
+(** Byte offset and reason. *)
+
+val parse : string -> ast
+(** Raises {!Syntax_error} on malformed input. *)
+
+val to_string : ast -> string
+(** Inverse of {!parse} modulo whitespace. *)
+
+val to_twig : intern:(string -> int option) -> ast -> (Twig.t, string) result
+(** Resolve tag names to label ids; [Error tag] names the first tag that
+    [intern] does not know.  The twig is canonicalized.  A query with an
+    unknown tag trivially has selectivity 0 against the document whose
+    interner was used. *)
+
+val of_twig : names:(int -> string) -> Twig.t -> ast
+
+val parse_twig : intern:(string -> int option) -> string -> (Twig.t, string) result
+(** [to_twig] after [parse]; syntax errors are reported as [Error]. *)

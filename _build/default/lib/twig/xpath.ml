@@ -1,0 +1,126 @@
+type t = { anchored : bool; ast : Twig_parse.ast }
+
+let of_twig_ast ~anchored ast = { anchored; ast }
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let rec render_step (ast : Twig_parse.ast) =
+  match ast.kids with
+  | [] -> ast.tag
+  | [ k ] -> ast.tag ^ "/" ^ render_step k
+  | kids -> ast.tag ^ String.concat "" (List.map (fun k -> "[" ^ render_step k ^ "]") kids)
+
+let to_string t = (if t.anchored then "/" else "//") ^ render_step t.ast
+
+(* --- parsing -------------------------------------------------------------- *)
+
+type cursor = { input : string; mutable pos : int }
+
+let fail cur fmt =
+  Printf.ksprintf (fun msg -> Error (Printf.sprintf "XPath error at offset %d: %s" cur.pos msg)) fmt
+
+let peek cur = if cur.pos < String.length cur.input then Some cur.input.[cur.pos] else None
+
+let skip_ws cur =
+  while
+    cur.pos < String.length cur.input
+    && (match cur.input.[cur.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    cur.pos <- cur.pos + 1
+  done
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' -> true
+  | _ -> false
+
+let ( let* ) = Result.bind
+
+let scan_name cur =
+  skip_ws cur;
+  match peek cur with
+  | Some '*' -> fail cur "wildcard steps are not supported: the lattice summary is per-tag"
+  | Some '@' -> fail cur "attribute axes are not supported: the data model ignores attributes"
+  | Some c when is_name_char c && not (c >= '0' && c <= '9') ->
+    let start = cur.pos in
+    while cur.pos < String.length cur.input && is_name_char cur.input.[cur.pos] do
+      cur.pos <- cur.pos + 1
+    done;
+    let name = String.sub cur.input start (cur.pos - start) in
+    if String.length name >= 4 && String.sub name 0 4 = "text" && peek cur = Some '(' then
+      fail cur "text() predicates are not supported: the data model has no values"
+    else Ok name
+  | Some c when c >= '0' && c <= '9' ->
+    fail cur "positional predicates are not supported: twig matching is unordered"
+  | Some c -> fail cur "expected a tag name, found %C" c
+  | None -> fail cur "expected a tag name, found end of input"
+
+let reject_value_operator cur =
+  skip_ws cur;
+  match peek cur with
+  | Some ('=' | '<' | '>' | '!') ->
+    fail cur "value predicates are not supported: the data model has no values"
+  | _ -> Ok ()
+
+(* step ('/' step)*, used both for the main spine and inside predicates. *)
+let rec scan_relpath cur =
+  let* first = scan_step cur in
+  scan_tail cur first
+
+and scan_tail cur first =
+  skip_ws cur;
+  match peek cur with
+  | Some '/' ->
+    cur.pos <- cur.pos + 1;
+    if peek cur = Some '/' then
+      fail cur "the descendant axis is only supported at the start of the query"
+    else begin
+      let* rest = scan_relpath cur in
+      Ok { first with Twig_parse.kids = first.Twig_parse.kids @ [ rest ] }
+    end
+  | _ -> Ok first
+
+and scan_step cur =
+  let* tag = scan_name cur in
+  let* predicates = scan_predicates cur [] in
+  Ok { Twig_parse.tag; kids = predicates }
+
+and scan_predicates cur acc =
+  skip_ws cur;
+  match peek cur with
+  | Some '[' ->
+    cur.pos <- cur.pos + 1;
+    let* inner = scan_relpath cur in
+    let* () = reject_value_operator cur in
+    skip_ws cur;
+    (match peek cur with
+    | Some ']' ->
+      cur.pos <- cur.pos + 1;
+      scan_predicates cur (inner :: acc)
+    | Some c -> fail cur "expected ']', found %C" c
+    | None -> fail cur "expected ']', found end of input")
+  | _ -> Ok (List.rev acc)
+
+let parse input =
+  let cur = { input; pos = 0 } in
+  skip_ws cur;
+  let* anchored =
+    match peek cur with
+    | Some '/' ->
+      cur.pos <- cur.pos + 1;
+      if peek cur = Some '/' then begin
+        cur.pos <- cur.pos + 1;
+        Ok false
+      end
+      else Ok true
+    | _ -> Ok false
+  in
+  let* ast = scan_relpath cur in
+  skip_ws cur;
+  match peek cur with
+  | None -> Ok { anchored; ast }
+  | Some c -> fail cur "trailing input starting with %C" c
+
+let to_twig ~intern t =
+  match Twig_parse.to_twig ~intern t.ast with
+  | Ok twig -> Ok twig
+  | Error tag -> Error (Printf.sprintf "unknown tag %S" tag)

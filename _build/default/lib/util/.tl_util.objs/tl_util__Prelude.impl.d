@@ -1,0 +1,1 @@
+lib/util/prelude.ml: Float List Printf

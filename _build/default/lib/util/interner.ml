@@ -1,0 +1,30 @@
+type t = { ids : (string, int) Hashtbl.t; mutable rev : string array; mutable next : int }
+
+let create () = { ids = Hashtbl.create 64; rev = Array.make 64 ""; next = 0 }
+
+let intern t s =
+  match Hashtbl.find_opt t.ids s with
+  | Some id -> id
+  | None ->
+    let id = t.next in
+    if id >= Array.length t.rev then begin
+      let bigger = Array.make (2 * Array.length t.rev) "" in
+      Array.blit t.rev 0 bigger 0 id;
+      t.rev <- bigger
+    end;
+    t.rev.(id) <- s;
+    Hashtbl.replace t.ids s id;
+    t.next <- id + 1;
+    id
+
+let find t s = Hashtbl.find_opt t.ids s
+
+let name t id =
+  if id < 0 || id >= t.next then invalid_arg (Printf.sprintf "Interner.name: unknown id %d" id);
+  t.rev.(id)
+
+let size t = t.next
+
+let names t = Array.sub t.rev 0 t.next
+
+let copy t = { ids = Hashtbl.copy t.ids; rev = Array.copy t.rev; next = t.next }

@@ -1,0 +1,28 @@
+(** Bidirectional string interning.
+
+    Element tags are interned into dense integer ids so that trees, twigs,
+    and lattice keys compare and hash on ints.  Ids are allocated in first-
+    seen order starting from 0, which also makes serialized summaries
+    stable for a given input document. *)
+
+type t
+
+val create : unit -> t
+
+val intern : t -> string -> int
+(** [intern t s] returns the id of [s], allocating a fresh one if needed. *)
+
+val find : t -> string -> int option
+(** Lookup without allocating. *)
+
+val name : t -> int -> string
+(** [name t id] is the string for [id].  Raises [Invalid_argument] for an
+    unallocated id. *)
+
+val size : t -> int
+(** Number of interned strings. *)
+
+val names : t -> string array
+(** All interned strings, indexed by id. *)
+
+val copy : t -> t

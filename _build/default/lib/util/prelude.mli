@@ -1,0 +1,24 @@
+(** Small general-purpose helpers shared across the library. *)
+
+val list_remove_at : int -> 'a list -> 'a list
+(** [list_remove_at i xs] drops the element at index [i].  Raises
+    [Invalid_argument] if [i] is out of bounds. *)
+
+val list_insert_sorted : cmp:('a -> 'a -> int) -> 'a -> 'a list -> 'a list
+(** Insert keeping the list sorted under [cmp]. *)
+
+val list_take : int -> 'a list -> 'a list
+(** First [n] elements (fewer if the list is shorter). *)
+
+val list_unique : cmp:('a -> 'a -> int) -> 'a list -> 'a list
+(** Sort and deduplicate. *)
+
+val sum_floats : float list -> float
+
+val round_to : int -> float -> float
+(** [round_to d v] rounds [v] to [d] decimal places. *)
+
+val human_bytes : int -> string
+(** Render a byte count as ["512 B"], ["20.1 KB"], ["3.4 MB"]. *)
+
+val clamp : lo:'a -> hi:'a -> 'a -> 'a

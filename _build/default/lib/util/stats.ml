@@ -1,0 +1,95 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    acc /. float_of_int n
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let require_non_empty name xs =
+  if Array.length xs = 0 then invalid_arg (Printf.sprintf "Stats.%s: empty sample" name)
+
+let minimum xs =
+  require_non_empty "minimum" xs;
+  Array.fold_left min xs.(0) xs
+
+let maximum xs =
+  require_non_empty "maximum" xs;
+  Array.fold_left max xs.(0) xs
+
+let sorted xs =
+  let copy = Array.copy xs in
+  Array.sort compare copy;
+  copy
+
+let percentile xs p =
+  require_non_empty "percentile" xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of [0, 100]";
+  let s = sorted xs in
+  let n = Array.length s in
+  if p = 0.0 then s.(0)
+  else begin
+    (* Nearest-rank: smallest value such that at least p% of samples are <= it. *)
+    let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) in
+    s.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let median xs = percentile xs 50.0
+
+let geometric_mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let acc =
+      Array.fold_left
+        (fun acc x ->
+          if x <= 0.0 then invalid_arg "Stats.geometric_mean: non-positive sample";
+          acc +. log x)
+        0.0 xs
+    in
+    exp (acc /. float_of_int n)
+  end
+
+let cdf_points xs =
+  let n = Array.length xs in
+  if n = 0 then []
+  else begin
+    let s = sorted xs in
+    let total = float_of_int n in
+    let rec collect i acc =
+      if i < 0 then acc
+      else begin
+        (* Keep only the last occurrence of each distinct value: that index
+           carries the full cumulative fraction for the value. *)
+        let keep = i = n - 1 || s.(i) <> s.(i + 1) in
+        let acc = if keep then (s.(i), float_of_int (i + 1) /. total) :: acc else acc in
+        collect (i - 1) acc
+      end
+    in
+    collect (n - 1) []
+  end
+
+let cdf_at xs v =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let count = Array.fold_left (fun acc x -> if x <= v then acc + 1 else acc) 0 xs in
+    float_of_int count /. float_of_int n
+  end
+
+let histogram ~buckets xs =
+  let k = Array.length buckets in
+  let counts = Array.make k 0 in
+  let place x =
+    let rec find i = if i >= k - 1 then k - 1 else if x <= buckets.(i) then i else find (i + 1) in
+    find 0
+  in
+  Array.iter (fun x -> let i = place x in counts.(i) <- counts.(i) + 1) xs;
+  counts

@@ -1,0 +1,40 @@
+(** Descriptive statistics over float samples.
+
+    Used by the experiment harness (average errors, percentiles, error CDFs)
+    and by the TreeSketches builder (cluster distortion). *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for an empty sample. *)
+
+val variance : float array -> float
+(** Population variance; 0 for samples of size < 2. *)
+
+val stddev : float array -> float
+
+val minimum : float array -> float
+(** Raises [Invalid_argument] on an empty sample. *)
+
+val maximum : float array -> float
+(** Raises [Invalid_argument] on an empty sample. *)
+
+val median : float array -> float
+(** Raises [Invalid_argument] on an empty sample. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0, 100\]], nearest-rank method on a
+    sorted copy.  Raises [Invalid_argument] on an empty sample. *)
+
+val geometric_mean : float array -> float
+(** Geometric mean of strictly positive samples; 0 for an empty sample. *)
+
+val cdf_points : float array -> (float * float) list
+(** [cdf_points xs] is the empirical CDF of [xs] as a sorted list of
+    [(value, cumulative_fraction)] pairs, one per distinct value. *)
+
+val cdf_at : float array -> float -> float
+(** [cdf_at xs v] is the fraction of samples [<= v]. *)
+
+val histogram : buckets:float array -> float array -> int array
+(** [histogram ~buckets xs] counts samples per bucket; [buckets] holds the
+    right edges, the last bucket also absorbs anything beyond it.  The result
+    has the same length as [buckets]. *)

@@ -1,0 +1,49 @@
+type align = Left | Right
+
+let pad align width s =
+  let gap = width - String.length s in
+  if gap <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+
+let render ?aligns ~header rows =
+  let ncols = List.length header in
+  let normalize row =
+    let len = List.length row in
+    if len >= ncols then row else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let aligns =
+    match aligns with
+    | Some a when List.length a = ncols -> a
+    | Some _ -> invalid_arg "Table.render: aligns length mismatch"
+    | None -> List.mapi (fun i _ -> if i = 0 then Left else Right) header
+  in
+  let widths = Array.of_list (List.map String.length header) in
+  let account row = List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row in
+  List.iter account rows;
+  let buf = Buffer.create 256 in
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad (List.nth aligns i) widths.(i) cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  Array.iter (fun w -> Buffer.add_string buf (String.make w '-'); Buffer.add_string buf "  ") widths;
+  (* Trim the trailing separator spacing for a clean right edge. *)
+  let sep_len = Buffer.length buf in
+  Buffer.truncate buf (sep_len - 2);
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print ?aligns ~header rows = print_string (render ?aligns ~header rows)
+
+let float_cell ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
+
+let int_cell = string_of_int

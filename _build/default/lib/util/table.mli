@@ -1,0 +1,23 @@
+(** Plain-text table rendering for experiment reports.
+
+    The benchmark harness prints every reproduced table and figure as an
+    aligned text table; this module owns the layout so reports look uniform
+    across experiments. *)
+
+type align = Left | Right
+
+val render : ?aligns:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays out [rows] under [header] with a separator
+    line, padding every column to its widest cell.  [aligns] defaults to
+    [Left] for the first column and [Right] for the rest, the common shape
+    for "name, number, number, ..." experiment tables.  Rows shorter than the
+    header are padded with empty cells. *)
+
+val print : ?aligns:align list -> header:string list -> string list list -> unit
+(** [render] followed by [print_string]. *)
+
+val float_cell : ?decimals:int -> float -> string
+(** Fixed-point rendering (default 2 decimals) used for error percentages
+    and timings. *)
+
+val int_cell : int -> string

@@ -1,0 +1,19 @@
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let start = now () in
+  let result = f () in
+  (result, now () -. start)
+
+let time_ms f =
+  let result, s = time f in
+  (result, s *. 1000.0)
+
+let mean_ms ?(repeats = 1) f =
+  if repeats <= 0 then invalid_arg "Timer.mean_ms: repeats must be positive";
+  let total = ref 0.0 in
+  for _ = 1 to repeats do
+    let _, ms = time_ms f in
+    total := !total +. ms
+  done;
+  !total /. float_of_int repeats

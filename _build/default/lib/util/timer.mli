@@ -1,0 +1,18 @@
+(** Wall-clock timing for the experiment harness.
+
+    The paper reports summary-construction time (Table 3) and per-query
+    response time (Fig. 9); these helpers give millisecond-resolution
+    measurements of both one-shot and repeated computations. *)
+
+val now : unit -> float
+(** Current wall-clock time in seconds. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with the elapsed seconds. *)
+
+val time_ms : (unit -> 'a) -> 'a * float
+(** Like {!time} but elapsed milliseconds. *)
+
+val mean_ms : ?repeats:int -> (unit -> 'a) -> float
+(** [mean_ms ~repeats f] is the average elapsed milliseconds of [f] over
+    [repeats] runs (default 1). *)

@@ -1,0 +1,138 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let ( +% ) = Int64.add
+let ( *% ) = Int64.mul
+let ( ^% ) = Int64.logxor
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* splitmix64, used only to expand the seed into the xoshiro state. *)
+let splitmix state =
+  state := !state +% 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = (z ^% Int64.shift_right_logical z 30) *% 0xBF58476D1CE4E5B9L in
+  let z = (z ^% Int64.shift_right_logical z 27) *% 0x94D049BB133111EBL in
+  z ^% Int64.shift_right_logical z 31
+
+let create seed =
+  let st = ref (Int64.of_int seed) in
+  let s0 = splitmix st in
+  let s1 = splitmix st in
+  let s2 = splitmix st in
+  let s3 = splitmix st in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+(* xoshiro256** next *)
+let int64 t =
+  let result = rotl (t.s1 *% 5L) 7 *% 9L in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- t.s2 ^% t.s0;
+  t.s3 <- t.s3 ^% t.s1;
+  t.s1 <- t.s1 ^% t.s2;
+  t.s0 <- t.s0 ^% t.s3;
+  t.s2 <- t.s2 ^% tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let seed = Int64.to_int (int64 t) in
+  create seed
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Xorshift.int: bound must be positive";
+  (* Rejection sampling on the top bits to avoid modulo bias. *)
+  let mask = Int64.of_int max_int in
+  let rec loop () =
+    let v = Int64.to_int (Int64.logand (int64 t) mask) in
+    let r = v mod bound in
+    if v - r > max_int - bound + 1 then loop () else r
+  in
+  loop ()
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Xorshift.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  bound *. (v *. 0x1.0p-53)
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let bernoulli t p = float t 1.0 < p
+
+let geometric t p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Xorshift.geometric: p out of (0,1]";
+  if p >= 1.0 then 0
+  else
+    let u = float t 1.0 in
+    let u = if u <= 0.0 then epsilon_float else u in
+    int_of_float (Float.floor (log u /. log (1.0 -. p)))
+
+(* Zipf sampling by inverse transform over a cached CDF table.  The cache is
+   keyed by (n, s); generators reuse a handful of (n, s) pairs so the table
+   cost is paid once per configuration. *)
+let zipf_tables : (int * float, float array) Hashtbl.t = Hashtbl.create 16
+
+let zipf_cdf n s =
+  match Hashtbl.find_opt zipf_tables (n, s) with
+  | Some cdf -> cdf
+  | None ->
+    let cdf = Array.make n 0.0 in
+    let acc = ref 0.0 in
+    for k = 1 to n do
+      acc := !acc +. (1.0 /. Float.exp (s *. log (float_of_int k)));
+      cdf.(k - 1) <- !acc
+    done;
+    let total = !acc in
+    Array.iteri (fun i v -> cdf.(i) <- v /. total) cdf;
+    Hashtbl.replace zipf_tables (n, s) cdf;
+    cdf
+
+let zipf t ~n ~s =
+  if n <= 0 then invalid_arg "Xorshift.zipf: n must be positive";
+  if n = 1 then 1
+  else begin
+    let cdf = zipf_cdf n s in
+    let u = float t 1.0 in
+    (* Smallest index whose cumulative mass covers u. *)
+    let rec bisect lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cdf.(mid) < u then bisect (mid + 1) hi else bisect lo mid
+    in
+    bisect 0 (n - 1) + 1
+  end
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Xorshift.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let pick_weighted t choices =
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 choices in
+  if total <= 0.0 then invalid_arg "Xorshift.pick_weighted: weights sum to zero";
+  let target = float t total in
+  let n = Array.length choices in
+  let rec loop i acc =
+    if i = n - 1 then fst choices.(i)
+    else
+      let acc = acc +. snd choices.(i) in
+      if target < acc then fst choices.(i) else loop (i + 1) acc
+  in
+  loop 0 0.0
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_without_replacement t k arr =
+  let copy = Array.copy arr in
+  shuffle t copy;
+  if k >= Array.length copy then copy else Array.sub copy 0 k

@@ -1,0 +1,62 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomized components of the library (dataset generators, workload
+    samplers, the TreeSketches builder) draw from an explicit generator state
+    so that every experiment is reproducible from a seed.  The implementation
+    is splitmix64 feeding xoshiro256**, which is fast and has no observable
+    bias for the sample sizes used here. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator deterministically from [seed]. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator duplicating [t]'s current state. *)
+
+val split : t -> t
+(** [split t] derives a new generator from [t], advancing [t].  Streams from
+    the parent and the child are statistically independent. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val geometric : t -> float -> int
+(** [geometric t p] counts failures before the first success of a Bernoulli
+    trial with success probability [p]; 0-based, so the mean is
+    [(1-p)/p]. *)
+
+val zipf : t -> n:int -> s:float -> int
+(** [zipf t ~n ~s] samples a rank in [\[1, n\]] from a Zipf distribution with
+    exponent [s] (by inverse-transform over the precomputed CDF would be
+    costly per-call; this uses rejection-inversion which needs no tables). *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_weighted : t -> ('a * float) array -> 'a
+(** [pick_weighted t choices] samples proportionally to the (non-negative,
+    not all zero) weights. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val sample_without_replacement : t -> int -> 'a array -> 'a array
+(** [sample_without_replacement t k arr] is [k] distinct elements of [arr]
+    (all of them, shuffled, when [k >= Array.length arr]). *)

@@ -1,0 +1,1 @@
+lib/values/value_estimator.ml: List Result Tl_core Tl_lattice Tl_tree Value_match Value_query Value_summary Value_tree

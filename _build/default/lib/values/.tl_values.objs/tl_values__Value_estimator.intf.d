@@ -1,0 +1,1 @@
+lib/values/value_estimator.mli: Tl_core Tl_lattice Value_query Value_summary Value_tree

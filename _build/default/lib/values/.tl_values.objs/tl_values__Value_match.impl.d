@@ -1,0 +1,1 @@
+lib/values/value_match.ml: Array Hashtbl List Option String Tl_tree Value_query Value_tree

@@ -1,0 +1,1 @@
+lib/values/value_match.mli: Tl_tree Value_query Value_tree

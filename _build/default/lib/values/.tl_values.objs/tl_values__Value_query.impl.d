@@ -1,0 +1,1 @@
+lib/values/value_query.ml: Buffer Char List Option Printf Result String Tl_twig

@@ -1,0 +1,1 @@
+lib/values/value_query.mli: Tl_twig

@@ -1,0 +1,1 @@
+lib/values/value_summary.ml: Array Hashtbl List Option String Tl_tree Tl_util Value_tree

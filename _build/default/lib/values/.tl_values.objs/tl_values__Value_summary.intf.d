@@ -1,0 +1,1 @@
+lib/values/value_summary.mli: Value_tree

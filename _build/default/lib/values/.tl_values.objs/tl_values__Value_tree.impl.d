@@ -1,0 +1,1 @@
+lib/values/value_tree.ml: Array List String Tl_tree Tl_xml

@@ -1,0 +1,1 @@
+lib/values/value_tree.mli: Tl_tree Tl_xml

@@ -1,0 +1,178 @@
+type t = { label : int; value : string option; children : t list }
+
+let leaf ?value label = { label; value; children = [] }
+
+let node ?value label children = { label; value; children }
+
+let rec size t = List.fold_left (fun acc c -> acc + size c) 1 t.children
+
+let hex s =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let rec canon t =
+  let kids = List.map canon t.children in
+  let kids = List.sort (fun (_, e1) (_, e2) -> String.compare e1 e2) kids in
+  let value_part = match t.value with None -> "" | Some v -> "=" ^ hex v in
+  let enc =
+    match kids with
+    | [] -> string_of_int t.label ^ value_part
+    | _ ->
+      string_of_int t.label ^ value_part ^ "(" ^ String.concat "," (List.map snd kids) ^ ")"
+  in
+  ({ t with children = List.map fst kids }, enc)
+
+let canonicalize t = fst (canon t)
+
+let encode t = snd (canon t)
+
+let equal a b = String.equal (encode a) (encode b)
+
+let rec strip t = Tl_twig.Twig.node t.label (List.map strip t.children)
+
+let predicates t =
+  let t = canonicalize t in
+  let acc = ref [] in
+  let rec walk t =
+    (match t.value with Some v -> acc := (t.label, v) :: !acc | None -> ());
+    List.iter walk t.children
+  in
+  walk t;
+  List.rev !acc
+
+let rec of_twig (tw : Tl_twig.Twig.t) =
+  { label = tw.Tl_twig.Twig.label; value = None; children = List.map of_twig tw.Tl_twig.Twig.children }
+
+let pp ~names t =
+  let buf = Buffer.create 64 in
+  let quote v =
+    let bare = String.for_all (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | ':' | '-' -> true | _ -> false) v in
+    if bare && v <> "" then v
+    else begin
+      let escaped = Buffer.create (String.length v + 2) in
+      Buffer.add_char escaped '"';
+      String.iter
+        (fun c ->
+          if c = '"' || c = '\\' then Buffer.add_char escaped '\\';
+          Buffer.add_char escaped c)
+        v;
+      Buffer.add_char escaped '"';
+      Buffer.contents escaped
+    end
+  in
+  let rec go t =
+    Buffer.add_string buf (names t.label);
+    (match t.value with
+    | Some v ->
+      Buffer.add_char buf '=';
+      Buffer.add_string buf (quote v)
+    | None -> ());
+    match t.children with
+    | [] -> ()
+    | kids ->
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i c ->
+          if i > 0 then Buffer.add_char buf ',';
+          go c)
+        kids;
+      Buffer.add_char buf ')'
+  in
+  go t;
+  Buffer.contents buf
+
+(* --- parsing -------------------------------------------------------------- *)
+
+let parse ~intern input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let error fmt = Printf.ksprintf (fun m -> Error (Printf.sprintf "offset %d: %s" !pos m)) fmt in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (input.[!pos] = ' ' || input.[!pos] = '\t' || input.[!pos] = '\n') do
+      incr pos
+    done
+  in
+  let is_tag_char = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' -> true
+    | _ -> false
+  in
+  let scan_token () =
+    let start = !pos in
+    while !pos < n && is_tag_char input.[!pos] do
+      incr pos
+    done;
+    String.sub input start (!pos - start)
+  in
+  let scan_quoted () =
+    (* cursor on the opening quote *)
+    incr pos;
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then error "unterminated string"
+      else begin
+        match input.[!pos] with
+        | '"' ->
+          incr pos;
+          Ok (Buffer.contents buf)
+        | '\\' when !pos + 1 < n ->
+          Buffer.add_char buf input.[!pos + 1];
+          pos := !pos + 2;
+          loop ()
+        | c ->
+          Buffer.add_char buf c;
+          incr pos;
+          loop ()
+      end
+    in
+    loop ()
+  in
+  let ( let* ) = Result.bind in
+  let rec scan_node () =
+    skip_ws ();
+    let tag = scan_token () in
+    if tag = "" then error "expected a tag name"
+    else begin
+      match intern tag with
+      | None -> Error (Printf.sprintf "unknown tag %S" tag)
+      | Some label ->
+        skip_ws ();
+        let* value =
+          match peek () with
+          | Some '=' ->
+            incr pos;
+            skip_ws ();
+            (match peek () with
+            | Some '"' -> Result.map Option.some (scan_quoted ())
+            | Some c when is_tag_char c ->
+              let v = scan_token () in
+              if v = "" then error "expected a value after '='" else Ok (Some v)
+            | _ -> error "expected a value after '='")
+          | _ -> Ok None
+        in
+        skip_ws ();
+        (match peek () with
+        | Some '(' ->
+          incr pos;
+          let* kids = scan_kids [] in
+          skip_ws ();
+          (match peek () with
+          | Some ')' ->
+            incr pos;
+            Ok { label; value; children = List.rev kids }
+          | _ -> error "expected ')'")
+        | _ -> Ok { label; value; children = [] })
+    end
+  and scan_kids acc =
+    let* child = scan_node () in
+    skip_ws ();
+    match peek () with
+    | Some ',' ->
+      incr pos;
+      scan_kids (child :: acc)
+    | _ -> Ok (child :: acc)
+  in
+  let* result = scan_node () in
+  skip_ws ();
+  if !pos <> n then error "trailing input" else Ok (canonicalize result)

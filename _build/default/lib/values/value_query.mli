@@ -1,0 +1,46 @@
+(** Twig queries with value predicates.
+
+    A value twig is a twig whose nodes optionally constrain the matched
+    node's value: [person(name="smith",address(city="oslo"))].  Matching
+    extends Definition 1 with "the image of a value-constrained query node
+    carries exactly that value".
+
+    Like plain twigs, value twigs are unordered; the canonical form sorts
+    children by an encoding that includes the value constraint, so
+    structurally equal queries compare equal. *)
+
+type t = { label : int; value : string option; children : t list }
+
+val leaf : ?value:string -> int -> t
+
+val node : ?value:string -> int -> t list -> t
+
+val size : t -> int
+
+val canonicalize : t -> t
+
+val equal : t -> t -> bool
+
+val encode : t -> string
+(** Canonical key; value constraints render as [=hex] suffixes so arbitrary
+    value bytes cannot collide with the structural syntax. *)
+
+val strip : t -> Tl_twig.Twig.t
+(** Drop the value constraints — the structural twig the lattice prices. *)
+
+val predicates : t -> (int * string) list
+(** Value constraints as (label, value) pairs, in canonical preorder. *)
+
+val of_twig : Tl_twig.Twig.t -> t
+(** A value twig with no constraints. *)
+
+val pp : names:(int -> string) -> t -> string
+(** Syntax: [person(name="smith",city)]. *)
+
+(** {2 Textual syntax}
+
+    The twig syntax extended with [=value] after a tag: bare values use tag
+    characters only; anything else must be double-quoted, with backslash
+    escapes for quote and backslash. *)
+
+val parse : intern:(string -> int option) -> string -> (t, string) result

@@ -1,0 +1,71 @@
+module Data_tree = Tl_tree.Data_tree
+
+type label_stats = {
+  label_total : int;  (** all nodes with this label *)
+  histogram : (string, int) Hashtbl.t;  (** top values *)
+  other_total : int;
+  other_distinct : int;
+}
+
+type t = { stats : label_stats array }
+
+let build ?(top = 32) vtree =
+  if top < 0 then invalid_arg "Value_summary.build: top must be >= 0";
+  let tree = Value_tree.tree vtree in
+  let nlabels = Data_tree.label_count tree in
+  let stats =
+    Array.init nlabels (fun l ->
+        let nodes = Data_tree.nodes_with_label tree l in
+        let counts = Hashtbl.create 16 in
+        Array.iter
+          (fun v ->
+            match Value_tree.value vtree v with
+            | Some value ->
+              Hashtbl.replace counts value (1 + Option.value ~default:0 (Hashtbl.find_opt counts value))
+            | None -> ())
+          nodes;
+        let ranked =
+          Hashtbl.fold (fun value c acc -> (value, c) :: acc) counts []
+          |> List.sort (fun (v1, c1) (v2, c2) -> compare (c2, v1) (c1, v2))
+        in
+        let kept = Tl_util.Prelude.list_take top ranked in
+        let histogram = Hashtbl.create (List.length kept) in
+        List.iter (fun (value, c) -> Hashtbl.replace histogram value c) kept;
+        let other = List.filteri (fun i _ -> i >= top) ranked in
+        {
+          label_total = Array.length nodes;
+          histogram;
+          other_total = List.fold_left (fun acc (_, c) -> acc + c) 0 other;
+          other_distinct = List.length other;
+        })
+  in
+  { stats }
+
+let memory_bytes t =
+  Array.fold_left
+    (fun acc s ->
+      Hashtbl.fold (fun value _ acc -> acc + String.length value + 8) s.histogram (acc + 16))
+    0 t.stats
+
+let value_probability t label value =
+  if label < 0 || label >= Array.length t.stats then 0.0
+  else begin
+    let s = t.stats.(label) in
+    if s.label_total = 0 then 0.0
+    else begin
+      match Hashtbl.find_opt s.histogram value with
+      | Some c -> float_of_int c /. float_of_int s.label_total
+      | None ->
+        if s.other_distinct = 0 then 0.0
+        else
+          float_of_int s.other_total
+          /. float_of_int s.other_distinct
+          /. float_of_int s.label_total
+    end
+  end
+
+let top_values t label =
+  if label < 0 || label >= Array.length t.stats then []
+  else
+    Hashtbl.fold (fun value c acc -> (value, c) :: acc) t.stats.(label).histogram []
+    |> List.sort (fun (v1, c1) (v2, c2) -> compare (c2, v1) (c1, v2))

@@ -1,0 +1,28 @@
+(** Value statistics for selectivity estimation.
+
+    For every label the summary keeps the number of valued nodes, a
+    histogram of the [top] most frequent values, and an aggregate bucket
+    (count and distinct-value count) for the rest — the classic
+    end-biased histogram, which is also how XSketches/XPathLearner handle
+    value skew.  A predicate's selectivity factor is
+
+    {v P(node with this label carries this value) v}
+
+    read from the histogram, or estimated as [other_total / distinct /
+    label_count] for values outside the top list (uniformity within the
+    tail). *)
+
+type t
+
+val build : ?top:int -> Value_tree.t -> t
+(** Collect value statistics ([top] defaults to 32 values per label).
+    Raises [Invalid_argument] when [top < 0]. *)
+
+val memory_bytes : t -> int
+
+val value_probability : t -> int -> string -> float
+(** [value_probability t label v]: estimated fraction of [label]-nodes
+    whose value is exactly [v]; 0 for labels that never carry values. *)
+
+val top_values : t -> int -> (string * int) list
+(** The retained histogram for a label, most frequent first. *)

@@ -1,0 +1,1 @@
+lib/viz/dot.mli: Tl_join Tl_sketch Tl_tree Tl_twig Tl_values

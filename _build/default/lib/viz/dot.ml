@@ -1,0 +1,100 @@
+module Twig = Tl_twig.Twig
+module Data_tree = Tl_tree.Data_tree
+
+let escape s =
+  let buf = Buffer.create (String.length s + 4) in
+  String.iter
+    (fun c ->
+      if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let digraph body = "digraph twig {\n  node [shape=box, fontname=\"monospace\"];\n" ^ body ^ "}\n"
+
+let twig ~names t =
+  let ix = Twig.index t in
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun i l -> Buffer.add_string buf (Printf.sprintf "  n%d [label=\"%s\"];\n" i (escape (names l))))
+    ix.Twig.node_labels;
+  Array.iteri
+    (fun i p -> if p >= 0 then Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" p i))
+    ix.Twig.parents;
+  digraph (Buffer.contents buf)
+
+let value_query ~names q =
+  let buf = Buffer.create 256 in
+  let next = ref 0 in
+  let rec walk parent (node : Tl_values.Value_query.t) =
+    let id = !next in
+    incr next;
+    let label =
+      match node.Tl_values.Value_query.value with
+      | Some v -> Printf.sprintf "%s\\n= %s" (escape (names node.Tl_values.Value_query.label)) (escape v)
+      | None -> escape (names node.Tl_values.Value_query.label)
+    in
+    Buffer.add_string buf (Printf.sprintf "  n%d [label=\"%s\"];\n" id label);
+    if parent >= 0 then Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" parent id);
+    List.iter (walk id) node.Tl_values.Value_query.children
+  in
+  walk (-1) (Tl_values.Value_query.canonicalize q);
+  digraph (Buffer.contents buf)
+
+let plan ~names (p : Tl_join.Plan.t) =
+  let ix = Twig.index p.Tl_join.Plan.twig in
+  let step_of = Array.make (Array.length ix.Twig.node_labels) 0 in
+  Array.iteri (fun step q -> step_of.(q) <- step) p.Tl_join.Plan.order;
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun i l ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\\n#%d\"%s];\n" i (escape (names l)) step_of.(i)
+           (if step_of.(i) = 0 then ", style=bold" else "")))
+    ix.Twig.node_labels;
+  Array.iteri
+    (fun i par -> if par >= 0 then Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" par i))
+    ix.Twig.parents;
+  digraph (Buffer.contents buf)
+
+let synopsis ~names (s : Tl_sketch.Synopsis.t) =
+  let buf = Buffer.create 512 in
+  Array.iteri
+    (fun c l ->
+      Buffer.add_string buf
+        (Printf.sprintf "  c%d [label=\"%s (%d)\"];\n" c (escape (names l)) s.Tl_sketch.Synopsis.sizes.(c)))
+    s.Tl_sketch.Synopsis.labels;
+  Array.iteri
+    (fun src edges ->
+      Array.iter
+        (fun (dst, w) ->
+          Buffer.add_string buf (Printf.sprintf "  c%d -> c%d [label=\"%.2f\"];\n" src dst w))
+        edges)
+    s.Tl_sketch.Synopsis.out_edges;
+  digraph (Buffer.contents buf)
+
+let data_tree ?(max_nodes = 64) tree =
+  let n = min max_nodes (Data_tree.size tree) in
+  let buf = Buffer.create 512 in
+  for v = 0 to n - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s\"];\n" v (escape (Data_tree.label_name tree (Data_tree.label tree v))))
+  done;
+  for v = 1 to n - 1 do
+    match Data_tree.parent tree v with
+    | Some p when p < n -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" p v)
+    | Some _ | None -> ()
+  done;
+  (* Mark elided subtrees. *)
+  let elided = ref false in
+  for v = 0 to n - 1 do
+    Array.iter
+      (fun c ->
+        if c >= n && not !elided then begin
+          elided := true;
+          Buffer.add_string buf
+            (Printf.sprintf "  more [label=\"...\", style=dashed];\n  n%d -> more [style=dashed];\n" v)
+        end)
+      (Data_tree.children tree v)
+  done;
+  digraph (Buffer.contents buf)

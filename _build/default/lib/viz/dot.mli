@@ -1,0 +1,20 @@
+(** GraphViz (DOT) exports for the library's structures.
+
+    Debugging and documentation aids: render twigs, value queries,
+    evaluation plans, TreeSketches synopses, and (bounded prefixes of)
+    data trees as [digraph]s, ready for [dot -Tsvg]. *)
+
+val twig : names:(int -> string) -> Tl_twig.Twig.t -> string
+
+val value_query : names:(int -> string) -> Tl_values.Value_query.t -> string
+(** Value constraints render as a second label line. *)
+
+val plan : names:(int -> string) -> Tl_join.Plan.t -> string
+(** Twig edges plus each node's binding order as ["#step"]. *)
+
+val synopsis : names:(int -> string) -> Tl_sketch.Synopsis.t -> string
+(** Clusters as ["label (size)"] boxes, edges weighted by average count. *)
+
+val data_tree : ?max_nodes:int -> Tl_tree.Data_tree.t -> string
+(** The first [max_nodes] (default 64) nodes in preorder, with elided
+    children marked. *)

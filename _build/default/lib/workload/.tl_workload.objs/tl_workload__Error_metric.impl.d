@@ -1,0 +1,1 @@
+lib/workload/error_metric.ml: Array Float Tl_util

@@ -1,0 +1,1 @@
+lib/workload/error_metric.mli:

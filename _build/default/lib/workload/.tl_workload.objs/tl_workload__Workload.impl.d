@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Error_metric Fun Hashtbl List Tl_tree Tl_twig Tl_util

@@ -1,0 +1,19 @@
+let sanity_bound true_counts =
+  if Array.length true_counts = 0 then invalid_arg "Error_metric.sanity_bound: empty workload";
+  let as_floats = Array.map float_of_int true_counts in
+  Float.max 10.0 (Tl_util.Stats.percentile as_floats 10.0)
+
+let error_percent ~sanity ~truth ~estimate =
+  let truth = float_of_int truth in
+  100.0 *. Float.abs (truth -. estimate) /. Float.max sanity truth
+
+let average_percent ~sanity pairs =
+  if Array.length pairs = 0 then 0.0
+  else begin
+    let errors = Array.map (fun (truth, estimate) -> error_percent ~sanity ~truth ~estimate) pairs in
+    Tl_util.Stats.mean errors
+  end
+
+let cdf ~sanity pairs =
+  let errors = Array.map (fun (truth, estimate) -> error_percent ~sanity ~truth ~estimate) pairs in
+  Tl_util.Stats.cdf_points errors

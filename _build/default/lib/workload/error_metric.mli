@@ -1,0 +1,20 @@
+(** The paper's accuracy metric (§5.1).
+
+    Estimation error is [|sigma - sigma_hat| / max(s, sigma)] where the
+    sanity bound [s] avoids artificially high percentages on low-count
+    queries: [s] is the 10th percentile of the workload's true counts,
+    floored at 10.  Reported numbers are percentages. *)
+
+val sanity_bound : int array -> float
+(** [sanity_bound true_counts] = [max 10 (10th percentile)].  Raises
+    [Invalid_argument] on an empty workload. *)
+
+val error_percent : sanity:float -> truth:int -> estimate:float -> float
+(** One query's error, in percent. *)
+
+val average_percent : sanity:float -> (int * float) array -> float
+(** Mean error over [(truth, estimate)] pairs, in percent. *)
+
+val cdf : sanity:float -> (int * float) array -> (float * float) list
+(** Empirical CDF of per-query errors (percent, cumulative fraction),
+    the series plotted in Fig. 8. *)

@@ -1,0 +1,127 @@
+module Twig = Tl_twig.Twig
+module Match_count = Tl_twig.Match_count
+module Twig_enum = Tl_twig.Twig_enum
+module Data_tree = Tl_tree.Data_tree
+module Xorshift = Tl_util.Xorshift
+
+type query = { twig : Twig.t; truth : int }
+
+type t = { size : int; queries : query array; sanity : float }
+
+let finalize ~size queries =
+  let queries = Array.of_list queries in
+  let sanity =
+    if Array.length queries = 0 then 10.0
+    else Error_metric.sanity_bound (Array.map (fun q -> q.truth) queries)
+  in
+  { size; queries; sanity }
+
+let positive ~seed ctx ~size ~count =
+  if size < 1 then invalid_arg "Workload.positive: size must be >= 1";
+  if count < 1 then invalid_arg "Workload.positive: count must be >= 1";
+  let rng = Xorshift.create seed in
+  let tree = Match_count.tree ctx in
+  let seen = Hashtbl.create count in
+  let queries = ref [] in
+  let found = ref 0 in
+  let attempts = ref (count * 60) in
+  while !found < count && !attempts > 0 do
+    decr attempts;
+    match Twig_enum.random_subtree rng tree ~size with
+    | None -> ()
+    | Some twig ->
+      let key = Twig.encode twig in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        let truth = Match_count.selectivity ctx twig in
+        (* Occurring by construction, but guard against size-0 anyway. *)
+        if truth > 0 then begin
+          queries := { twig; truth } :: !queries;
+          incr found
+        end
+      end
+  done;
+  finalize ~size !queries
+
+let positive_sweep ~seed ctx ~sizes ~count =
+  List.mapi (fun i size -> positive ~seed:(seed + (1000 * i)) ctx ~size ~count) sizes
+
+type mutation_kind = Relabel_root | Relabel_internal | Relabel_leaf
+
+let mutation_kind_name = function
+  | Relabel_root -> "root"
+  | Relabel_internal -> "internal"
+  | Relabel_leaf -> "leaf"
+
+let node_kind (ix : Twig.indexed) i =
+  if ix.Twig.parents.(i) < 0 then Relabel_root
+  else if ix.Twig.kids.(i) = [] then Relabel_leaf
+  else Relabel_internal
+
+(* Replace one node's label (optionally of a specific kind) by a
+   frequency-weighted draw. *)
+let mutate ?kind rng label_weights twig =
+  let ix = Twig.index twig in
+  let n = Array.length ix.Twig.node_labels in
+  let eligible =
+    match kind with
+    | None -> List.init n Fun.id
+    | Some k -> List.filter (fun i -> node_kind ix i = k) (List.init n Fun.id)
+  in
+  match eligible with
+  | [] -> None
+  | _ ->
+    let target = List.nth eligible (Xorshift.int rng (List.length eligible)) in
+    let replacement = Xorshift.pick_weighted rng label_weights in
+    let pos = ref (-1) in
+    let rec rebuild (t : Twig.t) =
+      incr pos;
+      let here = !pos in
+      let label = if here = target then replacement else t.Twig.label in
+      Twig.node label (List.map rebuild t.Twig.children)
+    in
+    Some (Twig.canonicalize (rebuild ix.Twig.twig))
+
+let negative_gen ?kind ~seed ctx ~base ~count () =
+  if count < 1 then invalid_arg "Workload.negative: count must be >= 1";
+  let rng = Xorshift.create seed in
+  let tree = Match_count.tree ctx in
+  let label_weights =
+    Array.init (Data_tree.label_count tree) (fun l ->
+        (l, float_of_int (Array.length (Data_tree.nodes_with_label tree l))))
+  in
+  let seen = Hashtbl.create count in
+  let queries = ref [] in
+  let found = ref 0 in
+  let attempts = ref (count * 80) in
+  let nbase = Array.length base.queries in
+  if nbase = 0 then { base with queries = [||] }
+  else begin
+    while !found < count && !attempts > 0 do
+      decr attempts;
+      let source = base.queries.(Xorshift.int rng nbase) in
+      match mutate ?kind rng label_weights source.twig with
+      | None -> ()
+      | Some mutant ->
+        let key = Twig.encode mutant in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.replace seen key ();
+          if Match_count.selectivity ctx mutant = 0 then begin
+            queries := { twig = mutant; truth = 0 } :: !queries;
+            incr found
+          end
+        end
+    done;
+    { size = base.size; queries = Array.of_list !queries; sanity = base.sanity }
+  end
+
+let negative ~seed ctx ~base ~count = negative_gen ~seed ctx ~base ~count ()
+
+let negative_by_kind ~seed ctx ~base ~count =
+  List.filter_map
+    (fun kind ->
+      let wl = negative_gen ~kind ~seed:(seed + Hashtbl.hash kind) ctx ~base ~count () in
+      if Array.length wl.queries = 0 then None else Some (kind, wl))
+    [ Relabel_root; Relabel_internal; Relabel_leaf ]
+
+let pairs t ~estimate = Array.map (fun q -> (q.truth, estimate q.twig)) t.queries

@@ -1,0 +1,54 @@
+(** Query workload generation (§5.1).
+
+    {e Positive} workloads hold occurring queries of a fixed size, obtained
+    by sampling connected subtrees of the data tree (the paper enumerates
+    all occurring patterns per level and samples when a level is too
+    large — sampling connected subsets is the scalable equivalent and draws
+    from exactly the same population).  Every query carries its exact
+    selectivity, computed by full twig matching.
+
+    {e Negative} workloads mutate positive queries by replacing node labels
+    with labels drawn proportionally to their document frequency — frequent
+    labels replace more often, maximizing the chance of a plausible-looking
+    but non-occurring query — and keep only mutants with true selectivity
+    zero. *)
+
+type query = { twig : Tl_twig.Twig.t; truth : int }
+
+type t = {
+  size : int;  (** number of twig nodes per query *)
+  queries : query array;
+  sanity : float;  (** this workload's sanity bound *)
+}
+
+val positive :
+  seed:int -> Tl_twig.Match_count.ctx -> size:int -> count:int -> t
+(** Up to [count] distinct occurring queries of [size] nodes (fewer when the
+    document does not have that many distinct patterns reachable within the
+    attempt budget).  Raises [Invalid_argument] when [size < 1] or
+    [count < 1]. *)
+
+val positive_sweep :
+  seed:int -> Tl_twig.Match_count.ctx -> sizes:int list -> count:int -> t list
+(** One positive workload per size. *)
+
+val negative :
+  seed:int -> Tl_twig.Match_count.ctx -> base:t -> count:int -> t
+(** Zero-selectivity mutants of [base]'s queries.  The result's [sanity]
+    is inherited from [base] (its own counts are all zero). *)
+
+(** Where a negative query's mutation landed — estimators fail differently
+    depending on whether the impossible label sits at the root, inside the
+    twig, or on a leaf. *)
+type mutation_kind = Relabel_root | Relabel_internal | Relabel_leaf
+
+val mutation_kind_name : mutation_kind -> string
+
+val negative_by_kind :
+  seed:int -> Tl_twig.Match_count.ctx -> base:t -> count:int -> (mutation_kind * t) list
+(** Like {!negative}, but targeting each node kind separately: up to
+    [count] zero-selectivity mutants per kind (kinds the base queries lack
+    — e.g. no internal nodes in 2-node twigs — are omitted). *)
+
+val pairs : t -> estimate:(Tl_twig.Twig.t -> float) -> (int * float) array
+(** Run an estimator over the workload: [(truth, estimate)] per query. *)

@@ -1,0 +1,1 @@
+lib/xmlparse/xml_dom.ml: Buffer Hashtbl List Printf String Xml_lexer

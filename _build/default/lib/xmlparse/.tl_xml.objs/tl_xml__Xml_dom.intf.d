@@ -1,0 +1,1 @@
+lib/xmlparse/xml_dom.mli:

@@ -1,0 +1,1 @@
+lib/xmlparse/xml_lexer.ml: Buffer Printf String Uchar Xml_error

@@ -1,0 +1,1 @@
+lib/xmlparse/xml_lexer.mli: Xml_error

@@ -1,0 +1,1 @@
+lib/xmlparse/xml_sax.ml: Buffer List Printf String Xml_lexer

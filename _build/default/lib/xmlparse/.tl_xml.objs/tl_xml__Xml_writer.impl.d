@@ -1,0 +1,1 @@
+lib/xmlparse/xml_writer.ml: Buffer List String Xml_dom

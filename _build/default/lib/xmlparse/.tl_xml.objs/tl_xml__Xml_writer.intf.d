@@ -1,0 +1,1 @@
+lib/xmlparse/xml_writer.mli: Xml_dom

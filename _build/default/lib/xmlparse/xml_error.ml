@@ -1,0 +1,12 @@
+type position = { line : int; column : int; offset : int }
+
+exception Parse_error of position * string
+
+let error pos msg = raise (Parse_error (pos, msg))
+
+let pp_position { line; column; _ } = Printf.sprintf "line %d, column %d" line column
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error (pos, msg) -> Some (Printf.sprintf "XML parse error at %s: %s" (pp_position pos) msg)
+    | _ -> None)

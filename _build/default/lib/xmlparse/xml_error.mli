@@ -1,0 +1,14 @@
+(** Errors raised by the XML parser. *)
+
+type position = { line : int; column : int; offset : int }
+(** 1-based line and column; 0-based byte offset. *)
+
+exception Parse_error of position * string
+(** Malformed input, with the position where parsing failed and a
+    human-readable reason. *)
+
+val error : position -> string -> 'a
+(** Raise {!Parse_error}. *)
+
+val pp_position : position -> string
+(** ["line 3, column 17"]. *)

@@ -1,0 +1,30 @@
+(** Event-based (SAX-style) XML parsing.
+
+    The DOM route ({!Xml_dom}) materializes every text node and attribute
+    list before the data-tree layer throws them away; for large documents —
+    the paper's motivation is "internet scale" XML (Aboulnaga et al.) —
+    the event stream lets {!Tl_tree.Tree_load} build the data tree
+    directly, keeping peak memory at the size of the tree arrays rather
+    than the DOM.
+
+    The grammar accepted is identical to {!Xml_dom.parse_string} (same
+    lexer, same reference resolution, same error positions); the two
+    parsers are cross-checked against each other in the test suite. *)
+
+type event =
+  | Declaration of (string * string) list  (** [<?xml ...?>] pseudo-attributes *)
+  | Start_element of string * (string * string) list
+  | End_element of string
+  | Text of string  (** one event per maximal run of character data *)
+  | Comment of string
+  | Pi of string * string
+
+val parse_string : string -> (event -> unit) -> unit
+(** Run the handler over every event of a complete document.  Raises
+    {!Xml_error.Parse_error} on malformed input — events already delivered
+    before the error are not retracted. *)
+
+val parse_file : string -> (event -> unit) -> unit
+
+val events_of_string : string -> event list
+(** Convenience for tests: collect all events. *)

@@ -1,0 +1,1 @@
+test/test_adaptive.ml: Alcotest Array Float Helpers List Printf Tl_core Tl_tree Tl_twig Tl_util

@@ -1,0 +1,1 @@
+test/test_datasets.ml: Alcotest Array List Option Printf Tl_datasets Tl_tree Tl_util Tl_xml

@@ -1,0 +1,1 @@
+test/test_dtwig.ml: Alcotest Array Fun Helpers List String Tl_tree Tl_twig Tl_util

@@ -1,0 +1,1 @@
+test/test_estimator.ml: Alcotest Float Helpers List Option Printf Tl_core Tl_lattice Tl_tree Tl_twig Tl_util

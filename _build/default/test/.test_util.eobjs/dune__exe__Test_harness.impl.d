@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Lazy List Printf String Tl_datasets Tl_harness Tl_lattice Tl_sketch Tl_tree

@@ -1,0 +1,1 @@
+test/test_join.ml: Alcotest Array Helpers List Option Printf String Tl_datasets Tl_join Tl_lattice Tl_tree Tl_twig Tl_util

@@ -1,0 +1,1 @@
+test/test_lattice.ml: Alcotest Array Filename Fun Helpers List Option Sys Tl_lattice Tl_tree Tl_twig

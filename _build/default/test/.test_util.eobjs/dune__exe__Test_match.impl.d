@@ -1,0 +1,1 @@
+test/test_match.ml: Alcotest Helpers List Option Printf Tl_tree Tl_twig Tl_util

@@ -1,0 +1,1 @@
+test/test_mining.ml: Alcotest Array Hashtbl Helpers List Tl_mining Tl_tree Tl_twig

@@ -1,0 +1,1 @@
+test/test_paths.ml: Alcotest Float Helpers List Option String Tl_core Tl_datasets Tl_lattice Tl_paths Tl_tree Tl_twig Tl_util

@@ -1,0 +1,1 @@
+test/test_sax.ml: Alcotest Array Buffer Filename Fun Helpers List Option Sys Tl_lattice Tl_tree Tl_xml

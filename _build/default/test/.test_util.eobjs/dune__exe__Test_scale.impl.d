@@ -1,0 +1,1 @@
+test/test_scale.ml: Alcotest Array Buffer Option Printf Tl_core Tl_datasets Tl_lattice Tl_tree Tl_twig Tl_util Tl_workload

@@ -1,0 +1,1 @@
+test/test_sketch.ml: Alcotest Array Filename Float Fun Hashtbl Helpers List Option Sys Tl_sketch Tl_tree Tl_twig

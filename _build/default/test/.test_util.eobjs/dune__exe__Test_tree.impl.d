@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Array Helpers List String Tl_tree Tl_xml

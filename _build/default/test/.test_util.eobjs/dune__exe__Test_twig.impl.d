@@ -1,0 +1,1 @@
+test/test_twig.ml: Alcotest Array Fmt Fun Helpers List String Tl_twig

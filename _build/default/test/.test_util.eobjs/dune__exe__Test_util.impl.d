@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Helpers Int64 List Printf QCheck2 String Tl_util

@@ -1,0 +1,1 @@
+test/test_values.ml: Alcotest Array Buffer Helpers List Option Printf QCheck2 Tl_core Tl_tree Tl_twig Tl_util Tl_values Tl_xml

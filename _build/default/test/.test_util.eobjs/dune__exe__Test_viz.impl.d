@@ -1,0 +1,1 @@
+test/test_viz.ml: Alcotest Helpers String Tl_join Tl_sketch Tl_tree Tl_twig Tl_values Tl_viz

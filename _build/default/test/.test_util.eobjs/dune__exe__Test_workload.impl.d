@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Helpers List Tl_datasets Tl_twig Tl_workload

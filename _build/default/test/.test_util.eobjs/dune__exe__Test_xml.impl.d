@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Filename Fun Helpers List String Sys Tl_tree Tl_xml

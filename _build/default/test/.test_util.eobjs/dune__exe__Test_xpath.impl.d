@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest Float Helpers List Printf String Tl_core Tl_tree Tl_twig Tl_util

@@ -1,0 +1,12 @@
+  $ treelattice() { ../../bin/treelattice_cli.exe "$@"; }
+  $ treelattice generate xmark --target 1500 --seed 5 -o auction.xml | sed 's/([0-9]* elements)/(N elements)/'
+  $ treelattice stats --xml auction.xml --sax | grep -c "nodes="
+  $ treelattice summarize --xml auction.xml -k 3 -o auction.summary > /dev/null
+  $ test -f auction.summary && echo present
+  $ treelattice prune --summary auction.summary --delta 0.0 -o pruned.summary | grep -cE "[0-9]+ -> [0-9]+ patterns"
+  $ treelattice estimate --xml auction.xml -k 3 "open_auction(bidder)" --exact | tr -d ' '
+  $ treelattice xpath --xml auction.xml -k 3 "//open_auction[bidder]" --exact | tr -d ' '
+  $ treelattice plan --xml auction.xml -k 3 "open_auction(bidder,annotation)" --execute | grep -c "guided"
+  $ treelattice match --xml auction.xml "open_auction(bidder)" --limit 2 | head -1 | sed 's/^[0-9]*/N/'
+  $ treelattice exp --quick no-such-experiment 2>&1 | tail -1
+  $ treelattice exp --list | wc -l

@@ -1,0 +1,100 @@
+(* Shared test utilities: QCheck generators for random labeled trees and
+   twigs, and small hand-built documents reused across suites. *)
+
+module TB = Tl_tree.Tree_builder
+module Twig = Tl_twig.Twig
+
+let alphabet = [| "a"; "b"; "c"; "d"; "e"; "f" |]
+
+(* A random tree spec with at most [max_nodes] nodes and fan-out <= 4,
+   labels drawn from the 6-letter alphabet — small enough that brute-force
+   oracles stay fast, rich enough to hit repeated-sibling cases. *)
+let spec_gen ~max_nodes : TB.spec QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let label = map (fun i -> alphabet.(i)) (int_bound (Array.length alphabet - 1)) in
+  let rec build budget =
+    if budget <= 1 then map TB.leaf label
+    else
+      let* l = label in
+      let* nkids = int_bound (min 4 (budget - 1)) in
+      if nkids = 0 then return (TB.leaf l)
+      else begin
+        let per_child = (budget - 1) / nkids in
+        let* kids = flatten_l (List.init nkids (fun _ -> build (max 1 per_child))) in
+        return (TB.node l kids)
+      end
+  in
+  build max_nodes
+
+let tree_gen ~max_nodes = QCheck2.Gen.map TB.build (spec_gen ~max_nodes)
+
+(* Random twig over integer labels [0, nlabels). *)
+let twig_gen ?(nlabels = 5) ~max_nodes () : Twig.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let label = int_bound (nlabels - 1) in
+  let rec build budget =
+    if budget <= 1 then map Twig.leaf label
+    else
+      let* l = label in
+      let* nkids = int_bound (min 3 (budget - 1)) in
+      if nkids = 0 then return (Twig.leaf l)
+      else begin
+        let per_child = (budget - 1) / nkids in
+        let* kids = flatten_l (List.init nkids (fun _ -> build (max 1 per_child))) in
+        return (Twig.node l kids)
+      end
+  in
+  build max_nodes
+
+let rec spec_pp (s : TB.spec) = TB.to_element s |> element_pp
+
+and element_pp (el : Tl_xml.Xml_dom.element) =
+  match el.children with
+  | [] -> el.tag
+  | kids ->
+    el.tag ^ "("
+    ^ String.concat ","
+        (List.filter_map
+           (fun n -> match n with Tl_xml.Xml_dom.Element e -> Some (element_pp e) | _ -> None)
+           kids)
+    ^ ")"
+
+let twig_pp t = Twig.encode t
+
+(* The Fig. 11-style document: heterogeneous b-nodes under one root. *)
+let fig11_spec =
+  TB.node "a"
+    (TB.replicate 3 (TB.node "b" (TB.replicate 4 (TB.leaf "c")))
+    @ [ TB.node "b" (TB.leaf "c" :: TB.replicate 4 (TB.leaf "d")) ])
+
+(* A perfectly regular document: every x has exactly one y and one z, every
+   y has exactly two w — conditional independence holds exactly, so
+   decomposition estimates must be exact on it. *)
+let regular_spec =
+  TB.node "r"
+    (TB.replicate 5 (TB.node "x" [ TB.node "y" (TB.replicate 2 (TB.leaf "w")); TB.leaf "z" ]))
+
+(* The paper's Fig. 1 computer-shop document. *)
+let shop_spec =
+  TB.node "computer"
+    [
+      TB.node "laptops"
+        [
+          TB.node "laptop" [ TB.leaf "brand"; TB.leaf "price" ];
+          TB.node "laptop" [ TB.leaf "brand"; TB.leaf "price" ];
+        ];
+      TB.node "desktops" [ TB.node "desktop" [ TB.leaf "brand" ] ];
+    ]
+
+let tree_of spec = TB.build spec
+
+(* Resolve a twig written with tag names against a tree. *)
+let twig_of_string tree s =
+  match
+    Tl_twig.Twig_parse.parse_twig ~intern:(Tl_tree.Data_tree.label_of_string tree) s
+  with
+  | Ok t -> t
+  | Error msg -> failwith ("twig_of_string: " ^ msg)
+
+let qcheck_case ?(count = 100) ~name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)

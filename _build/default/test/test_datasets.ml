@@ -1,0 +1,201 @@
+(* Tests for the synthetic dataset generators: sizing, determinism, and the
+   structural properties each stand-in is supposed to reproduce. *)
+
+module Dataset = Tl_datasets.Dataset
+module Schema = Tl_datasets.Schema
+module Data_tree = Tl_tree.Data_tree
+module Tree_stats = Tl_tree.Tree_stats
+module Xorshift = Tl_util.Xorshift
+
+let target = 4_000
+
+let tree_of d = Dataset.tree d ~target ~seed:42
+
+(* --- Schema combinators ------------------------------------------------------ *)
+
+let test_sample_count_distributions () =
+  let rng = Xorshift.create 1 in
+  for _ = 1 to 200 do
+    Alcotest.(check int) "const" 3 (Schema.sample_count rng (Const 3));
+    let u = Schema.sample_count rng (Uniform (2, 5)) in
+    Alcotest.(check bool) "uniform in range" true (u >= 2 && u <= 5);
+    let g = Schema.sample_count rng (Geometric (0.5, 4)) in
+    Alcotest.(check bool) "geometric capped" true (g >= 0 && g <= 4);
+    let z = Schema.sample_count rng (Zipf (10, 1.2)) in
+    Alcotest.(check bool) "zipf in range" true (z >= 1 && z <= 10);
+    let s = Schema.sample_count rng (Shifted (2, Const 1)) in
+    Alcotest.(check int) "shifted" 3 s
+  done
+
+let test_elem_and_groups () =
+  let rng = Xorshift.create 2 in
+  let gen =
+    Schema.elem "root"
+      [ Schema.one (Schema.leaf "a"); Schema.repeat (Schema.Const 2) (Schema.leaf "b") ]
+  in
+  let el = gen rng in
+  Alcotest.(check string) "tag" "root" el.Tl_xml.Xml_dom.tag;
+  Alcotest.(check int) "children" 3 (List.length el.Tl_xml.Xml_dom.children)
+
+let test_opt_probabilities () =
+  let rng = Xorshift.create 3 in
+  let gen = Schema.elem "r" [ Schema.opt 0.0 (Schema.leaf "never"); Schema.opt 1.0 (Schema.leaf "always") ] in
+  for _ = 1 to 20 do
+    let el = gen rng in
+    Alcotest.(check int) "only the certain child" 1 (List.length el.Tl_xml.Xml_dom.children)
+  done
+
+let test_cond_bundles () =
+  let rng = Xorshift.create 4 in
+  let gen =
+    Schema.elem "r"
+      [
+        Schema.cond 1.0
+          ~then_:(Schema.group [ Schema.one (Schema.leaf "x"); Schema.one (Schema.leaf "y") ])
+          ~else_:Schema.nothing;
+      ]
+  in
+  let el = gen rng in
+  Alcotest.(check int) "bundle generated atomically" 2 (List.length el.Tl_xml.Xml_dom.children)
+
+let test_element_count () =
+  let rng = Xorshift.create 5 in
+  let gen = Schema.elem "r" [ Schema.repeat (Schema.Const 3) (Schema.elem "c" [ Schema.one (Schema.leaf "d") ]) ] in
+  Alcotest.(check int) "count" 7 (Schema.element_count (gen rng))
+
+let test_generate_document_target () =
+  let record = Schema.elem "rec" [ Schema.repeat (Schema.Const 4) (Schema.leaf "f") ] in
+  let doc = Schema.generate_document ~root:"top" ~record ~target:500 ~seed:6 () in
+  let count = Schema.element_count doc in
+  Alcotest.(check bool) "close to target" true (count >= 500 && count < 520);
+  (* Always at least one record even with a tiny target. *)
+  let tiny = Schema.generate_document ~root:"top" ~record ~target:1 ~seed:6 () in
+  Alcotest.(check bool) "at least one record" true (Schema.element_count tiny > 1)
+
+(* --- dataset registry ---------------------------------------------------------- *)
+
+let test_registry () =
+  Alcotest.(check int) "four datasets" 4 (List.length Dataset.all);
+  Alcotest.(check (option string)) "find nasa" (Some "nasa")
+    (Option.map (fun d -> d.Dataset.name) (Dataset.find "NASA"));
+  Alcotest.(check bool) "unknown dataset" true (Dataset.find "mnist" = None);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) (d.Dataset.name ^ " paper elements recorded") true
+        (d.Dataset.paper_elements > 100_000))
+    Dataset.all
+
+let test_sizes_near_target () =
+  List.iter
+    (fun d ->
+      let tree = tree_of d in
+      let n = Data_tree.size tree in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s size %d within tolerance of %d" d.Dataset.name n target)
+        true
+        (n >= target * 9 / 10 && n <= target * 13 / 10))
+    Dataset.all
+
+let test_deterministic_by_seed () =
+  List.iter
+    (fun d ->
+      let a = d.Dataset.document ~target:1_000 ~seed:5 in
+      let b = d.Dataset.document ~target:1_000 ~seed:5 in
+      let c = d.Dataset.document ~target:1_000 ~seed:6 in
+      Alcotest.(check bool) (d.Dataset.name ^ " same seed same doc") true (Tl_xml.Xml_dom.equal_element a b);
+      Alcotest.(check bool) (d.Dataset.name ^ " different seed differs") false
+        (Tl_xml.Xml_dom.equal_element a c))
+    Dataset.all
+
+let test_documents_serialize_and_reparse () =
+  List.iter
+    (fun d ->
+      let el = d.Dataset.document ~target:800 ~seed:7 in
+      let doc : Tl_xml.Xml_dom.t = { decl = None; root = el } in
+      let reparsed = Tl_xml.Xml_dom.parse_string (Tl_xml.Xml_writer.to_string doc) in
+      Alcotest.(check bool) (d.Dataset.name ^ " xml roundtrip") true
+        (Tl_xml.Xml_dom.equal_element el reparsed.root))
+    Dataset.all
+
+let test_label_alphabets () =
+  (* The stand-ins should roughly reproduce Table 2's level-1 row:
+     nasa 61, imdb 88, psd 64, xmark 27 labels. *)
+  let expectations = [ ("nasa", 35, 70); ("imdb", 45, 95); ("psd", 35, 70); ("xmark", 18, 45) ] in
+  List.iter
+    (fun (name, lo, hi) ->
+      let d = Option.get (Dataset.find name) in
+      let labels = Data_tree.label_count (tree_of d) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s alphabet %d in [%d,%d]" name labels lo hi)
+        true
+        (labels >= lo && labels <= hi))
+    expectations
+
+let test_xmark_fanout_skew () =
+  (* The property that breaks average-based synopses: bidder fan-outs are
+     heavily skewed. *)
+  let tree = tree_of Dataset.xmark in
+  let auction = Option.get (Data_tree.label_of_string tree "open_auction") in
+  let bidder = Option.get (Data_tree.label_of_string tree "bidder") in
+  let counts =
+    Array.map
+      (fun v -> float_of_int (Data_tree.count_children_with_label tree v bidder))
+      (Data_tree.nodes_with_label tree auction)
+  in
+  let median = Tl_util.Stats.median counts in
+  let mean = Tl_util.Stats.mean counts in
+  let max = Tl_util.Stats.maximum counts in
+  Alcotest.(check bool) "typical auction has few bidders" true (median <= 3.0);
+  Alcotest.(check bool) "heavy tail pulls the mean far above the median" true (mean > 2.0 *. median);
+  Alcotest.(check bool) "some auctions have many" true (max >= 10.0)
+
+let test_imdb_correlation () =
+  (* Business and awards must co-occur far more often than independence
+     predicts — the property that degrades TreeLattice on IMDB. *)
+  let tree = tree_of Dataset.imdb in
+  let movie = Option.get (Data_tree.label_of_string tree "movie") in
+  let business = Option.get (Data_tree.label_of_string tree "business") in
+  let awards = Option.get (Data_tree.label_of_string tree "awards") in
+  let movies = Data_tree.nodes_with_label tree movie in
+  let n = float_of_int (Array.length movies) in
+  let count pred = float_of_int (Array.length (Array.of_list (List.filter pred (Array.to_list movies)))) in
+  let has l v = Data_tree.count_children_with_label tree v l > 0 in
+  let p_business = count (has business) /. n in
+  let p_awards = count (has awards) /. n in
+  let p_both = count (fun v -> has business v && has awards v) /. n in
+  Alcotest.(check bool) "positive correlation" true (p_both > 1.5 *. p_business *. p_awards)
+
+let test_nasa_depth () =
+  let stats = Tree_stats.compute (tree_of Dataset.nasa) in
+  Alcotest.(check bool) "nasa is deep" true (stats.depth >= 6)
+
+let test_psd_shallow_and_wide () =
+  let stats = Tree_stats.compute (tree_of Dataset.psd) in
+  Alcotest.(check bool) "psd is shallow" true (stats.depth <= 7);
+  Alcotest.(check bool) "psd records are wide" true (stats.mean_fanout > 1.5)
+
+let () =
+  Alcotest.run "datasets"
+    [
+      ( "schema",
+        [
+          Alcotest.test_case "count distributions" `Quick test_sample_count_distributions;
+          Alcotest.test_case "elem groups" `Quick test_elem_and_groups;
+          Alcotest.test_case "opt probabilities" `Quick test_opt_probabilities;
+          Alcotest.test_case "cond bundles" `Quick test_cond_bundles;
+          Alcotest.test_case "element count" `Quick test_element_count;
+          Alcotest.test_case "generate to target" `Quick test_generate_document_target;
+        ] );
+      ( "datasets",
+        [
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "sizes near target" `Quick test_sizes_near_target;
+          Alcotest.test_case "deterministic" `Quick test_deterministic_by_seed;
+          Alcotest.test_case "xml roundtrip" `Quick test_documents_serialize_and_reparse;
+          Alcotest.test_case "label alphabets" `Quick test_label_alphabets;
+          Alcotest.test_case "xmark skew" `Quick test_xmark_fanout_skew;
+          Alcotest.test_case "imdb correlation" `Quick test_imdb_correlation;
+          Alcotest.test_case "nasa depth" `Quick test_nasa_depth;
+          Alcotest.test_case "psd shape" `Quick test_psd_shallow_and_wide;
+        ] );
+    ]

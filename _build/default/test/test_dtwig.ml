@@ -1,0 +1,181 @@
+(* Tests for descendant-edge twigs. *)
+
+module Dtwig = Tl_twig.Dtwig
+module Twig = Tl_twig.Twig
+module Match_count = Tl_twig.Match_count
+module Data_tree = Tl_tree.Data_tree
+module TB = Tl_tree.Tree_builder
+
+let parse tree q =
+  match Dtwig.parse ~intern:(Data_tree.label_of_string tree) q with
+  | Ok t -> t
+  | Error m -> Alcotest.failf "parse %S: %s" q m
+
+let count tree q = Dtwig.selectivity tree (parse tree q)
+
+(* r(a(b(c)), b, c) *)
+let sample () =
+  TB.build (TB.node "r" [ TB.node "a" [ TB.node "b" [ TB.leaf "c" ] ]; TB.leaf "b"; TB.leaf "c" ])
+
+(* --- structure --------------------------------------------------------------- *)
+
+let test_parse_and_pp () =
+  let tree = sample () in
+  let names = Data_tree.label_name tree in
+  let q = parse tree "r(//c,a)" in
+  Alcotest.(check int) "size" 3 (Dtwig.size q);
+  (* pp/parse roundtrip. *)
+  let q2 = parse tree (Dtwig.pp ~names q) in
+  Alcotest.(check bool) "roundtrip" true (Dtwig.equal q q2)
+
+let test_canonical_edges_distinguish () =
+  let tree = sample () in
+  let child = parse tree "r(b)" in
+  let desc = parse tree "r(//b)" in
+  Alcotest.(check bool) "axes distinguish queries" false (Dtwig.equal child desc);
+  Alcotest.(check bool) "encodings differ" false (String.equal (Dtwig.encode child) (Dtwig.encode desc))
+
+let test_of_to_twig () =
+  let tw = Twig.node 0 [ Twig.leaf 1; Twig.node 2 [ Twig.leaf 3 ] ] in
+  let dt = Dtwig.of_twig tw in
+  (match Dtwig.to_twig dt with
+  | Some back -> Alcotest.(check bool) "all-child roundtrip" true (Twig.equal tw back)
+  | None -> Alcotest.fail "expected conversion");
+  let with_desc = Dtwig.node 0 [ (Dtwig.Descendant, Dtwig.leaf 1) ] in
+  Alcotest.(check bool) "descendant edge refuses" true (Dtwig.to_twig with_desc = None)
+
+let test_parse_errors () =
+  let tree = sample () in
+  let expect q =
+    match Dtwig.parse ~intern:(Data_tree.label_of_string tree) q with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected %S to fail" q
+  in
+  expect "";
+  expect "r(";
+  expect "r(//)";
+  expect "r(zzz)";
+  expect "r)x"
+
+(* --- counting ------------------------------------------------------------------ *)
+
+let test_descendant_counts () =
+  let tree = sample () in
+  (* b occurs at r/a/b and r/b; both are descendants of r. *)
+  Alcotest.(check int) "child b" 1 (count tree "r(b)");
+  Alcotest.(check int) "descendant b" 2 (count tree "r(//b)");
+  (* c occurs at r/a/b/c and r/c. *)
+  Alcotest.(check int) "descendant c" 2 (count tree "r(//c)");
+  Alcotest.(check int) "child c" 1 (count tree "r(c)");
+  Alcotest.(check int) "nested descendant" 1 (count tree "a(//c)");
+  Alcotest.(check int) "descendant with child below" 1 (count tree "r(//b(c))");
+  Alcotest.(check int) "absent" 0 (count tree "b(//a)")
+
+let test_mixed_axes () =
+  let tree = sample () in
+  (* r with a child b AND a descendant c: 1 (child b) x 2 (descendant c). *)
+  Alcotest.(check int) "mixed" 2 (count tree "r(b,//c)")
+
+let test_same_label_mixed_group_injective () =
+  (* v has child x and grandchild x; query v(x, //x):
+     child-x must take the direct child; //x can take either, but
+     injectivity leaves it the grandchild: 1 match... plus //x = child x
+     is excluded by injectivity. *)
+  let tree = TB.build (TB.node "v" [ TB.node "x" [ TB.leaf "x" ] ]) in
+  Alcotest.(check int) "injective across axes" 1 (count tree "v(x,//x)");
+  (* Two descendant x's: ordered pairs of distinct descendants = 2. *)
+  Alcotest.(check int) "two descendant twins" 2 (count tree "v(//x,//x)")
+
+let test_deep_descendants () =
+  let tree = TB.build (TB.path [ "a"; "m"; "m"; "m"; "z" ]) in
+  Alcotest.(check int) "all depths" 3 (count tree "a(//m)");
+  Alcotest.(check int) "z below any m" 3 (count tree "a(//m(//z))")
+
+let test_rooted () =
+  let tree = sample () in
+  let q = parse tree "r(//b)" in
+  let total = ref 0 in
+  Data_tree.iter_nodes tree (fun v -> total := !total + Dtwig.selectivity_rooted tree q v);
+  Alcotest.(check int) "rooted sums" (Dtwig.selectivity tree q) !total
+
+(* All-child dtwigs must agree exactly with the parent-child counter. *)
+let prop_child_only_agrees_with_match_count =
+  Helpers.qcheck_case ~name:"child-only dtwigs = Match_count" ~count:50
+    (Helpers.tree_gen ~max_nodes:18)
+    (fun tree ->
+      let ctx = Match_count.create_ctx tree in
+      let rng = Tl_util.Xorshift.create 73 in
+      let ok = ref true in
+      for _ = 1 to 5 do
+        match Tl_twig.Twig_enum.random_subtree rng tree ~size:4 with
+        | None -> ()
+        | Some twig ->
+          if Dtwig.selectivity tree (Dtwig.of_twig twig) <> Match_count.selectivity ctx twig then
+            ok := false
+      done;
+      !ok)
+
+(* Descendant edges dominate child edges: relaxing any axis can only add
+   matches. *)
+let prop_descendant_dominates_child =
+  Helpers.qcheck_case ~name:"descendant axis only adds matches" ~count:50
+    (Helpers.tree_gen ~max_nodes:18)
+    (fun tree ->
+      let rng = Tl_util.Xorshift.create 79 in
+      let ok = ref true in
+      for _ = 1 to 5 do
+        match Tl_twig.Twig_enum.random_subtree rng tree ~size:4 with
+        | None -> ()
+        | Some twig ->
+          let strict = Dtwig.selectivity tree (Dtwig.of_twig twig) in
+          (* Relax every edge to Descendant. *)
+          let rec relax (t : Twig.t) =
+            Dtwig.node t.Twig.label
+              (List.map (fun c -> (Dtwig.Descendant, relax c)) t.Twig.children)
+          in
+          if Dtwig.selectivity tree (relax twig) < strict then ok := false
+      done;
+      !ok)
+
+(* Region encoding sanity backing the descendant folds. *)
+let prop_region_encoding =
+  Helpers.qcheck_case ~name:"subtree_end matches actual descendant sets" ~count:60
+    (Helpers.tree_gen ~max_nodes:30)
+    (fun tree ->
+      let ok = ref true in
+      Data_tree.iter_nodes tree (fun v ->
+          (* All strict descendants by brute walk. *)
+          let rec walk acc w =
+            Array.fold_left (fun acc c -> walk (c :: acc) c) acc (Data_tree.children tree w)
+          in
+          let brute = List.sort compare (walk [] v) in
+          let via_region =
+            List.filter
+              (fun w -> Data_tree.is_descendant tree w ~ancestor:v)
+              (List.init (Data_tree.size tree) Fun.id)
+          in
+          if brute <> via_region then ok := false);
+      !ok)
+
+let () =
+  Alcotest.run "dtwig"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "parse and pp" `Quick test_parse_and_pp;
+          Alcotest.test_case "axes distinguish" `Quick test_canonical_edges_distinguish;
+          Alcotest.test_case "twig conversions" `Quick test_of_to_twig;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        ] );
+      ( "counting",
+        [
+          Alcotest.test_case "descendant counts" `Quick test_descendant_counts;
+          Alcotest.test_case "mixed axes" `Quick test_mixed_axes;
+          Alcotest.test_case "mixed-group injectivity" `Quick test_same_label_mixed_group_injective;
+          Alcotest.test_case "deep descendants" `Quick test_deep_descendants;
+          Alcotest.test_case "rooted sums" `Quick test_rooted;
+          prop_child_only_agrees_with_match_count;
+          prop_descendant_dominates_child;
+          prop_region_encoding;
+        ] );
+    ]

@@ -1,0 +1,210 @@
+(* Integration tests: the experiment harness end to end on a reduced-scale
+   suite.  These are the slowest tests (each builds lattices, a synopsis,
+   and workloads), so the suite is prepared once and shared. *)
+
+module Experiments = Tl_harness.Experiments
+module Report = Tl_harness.Report
+module Dataset = Tl_datasets.Dataset
+
+let tiny_config =
+  {
+    Experiments.quick_config with
+    Experiments.target = 1_200;
+    queries_per_size = 6;
+    sizes = [ 4; 5 ];
+    fig10b_sizes = [ 4; 5 ];
+  }
+
+let suite = lazy (Experiments.make_suite tiny_config)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+let check_report ?(extra = []) id =
+  let suite = Lazy.force suite in
+  match Experiments.run suite id with
+  | None -> Alcotest.failf "experiment %s not registered" id
+  | Some report ->
+    Alcotest.(check bool) (id ^ " names itself") true (contains ~needle:id report);
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s mentions %S" id needle)
+          true (contains ~needle report))
+      extra
+
+(* --- suite preparation ------------------------------------------------------ *)
+
+let test_prepare_envs () =
+  let suite = Lazy.force suite in
+  let envs = Experiments.envs suite in
+  Alcotest.(check int) "four datasets" 4 (List.length envs);
+  List.iter
+    (fun env ->
+      let open Experiments in
+      Alcotest.(check bool) "tree non-empty" true (Tl_tree.Data_tree.size env.tree > 500);
+      Alcotest.(check bool) "summary has patterns" true (Tl_lattice.Summary.entries env.summary > 10);
+      Alcotest.(check bool) "lattice timed" true (env.lattice_ms >= 0.0);
+      Alcotest.(check bool) "sketch timed" true (env.sketch_ms >= 0.0);
+      Alcotest.(check bool) "sketch valid" true (Tl_sketch.Synopsis.validate env.sketch = Ok ());
+      Alcotest.(check int) "one workload per size" (List.length tiny_config.Experiments.sizes)
+        (List.length env.workloads))
+    envs
+
+let test_single_dataset_suite () =
+  let small = Experiments.make_suite ~datasets:[ Dataset.xmark ] tiny_config in
+  Alcotest.(check int) "one env" 1 (List.length (Experiments.envs small));
+  match Experiments.run small "fig7" with
+  | Some report -> Alcotest.(check bool) "xmark only" true (contains ~needle:"xmark" report)
+  | None -> Alcotest.fail "fig7 missing"
+
+let test_config_accessor () =
+  let suite = Lazy.force suite in
+  Alcotest.(check int) "config preserved" tiny_config.Experiments.target
+    (Experiments.suite_config suite).Experiments.target
+
+(* --- experiment registry ------------------------------------------------------- *)
+
+let test_registry_complete () =
+  let ids = List.map (fun (id, _, _) -> id) Experiments.all_experiments in
+  Alcotest.(check (list string)) "all paper artifacts covered"
+    [
+      "table1"; "table2"; "table3"; "fig7"; "fig8"; "fig9"; "fig10a"; "fig10b"; "fig10c"; "fig10d";
+      "neg"; "lemma4"; "ablation-k"; "ablation-pairs"; "incr"; "pathcmp"; "adaptive"; "joinopt";
+    ]
+    ids
+
+let test_unknown_experiment () =
+  let suite = Lazy.force suite in
+  Alcotest.(check bool) "unknown id" true (Experiments.run suite "fig99" = None)
+
+(* --- individual experiments ------------------------------------------------------ *)
+
+let test_table1 () = check_report "table1" ~extra:[ "nasa"; "imdb"; "xmark"; "psd"; "paper elems" ]
+
+let test_table2 () = check_report "table2" ~extra:[ "level" ]
+
+let test_table3 () = check_report "table3" ~extra:[ "TreeLattice build"; "TreeSketches build" ]
+
+let test_fig7 () = check_report "fig7" ~extra:[ "recursive"; "rec+voting"; "fixed-size"; "treesketches" ]
+
+let test_fig8 () = check_report "fig8" ~extra:[ "error bound"; "<= 10%" ]
+
+let test_fig9 () = check_report "fig9" ~extra:[ "ms" ]
+
+let test_fig10a () = check_report "fig10a" ~extra:[ "savings" ]
+
+let test_fig10b () = check_report "fig10b" ~extra:[ "voting+OPT" ]
+
+let test_fig10c () = check_report "fig10c" ~extra:[ "delta"; "patterns kept" ]
+
+let test_fig10d () = check_report "fig10d" ~extra:[ "size" ]
+
+let test_negative () = check_report "neg" ~extra:[ "queries" ]
+
+let test_lemma4 () =
+  let suite = Lazy.force suite in
+  match Experiments.run suite "lemma4" with
+  | None -> Alcotest.fail "lemma4 missing"
+  | Some report ->
+    (* The equivalence is exact: every reported gap must be zero. *)
+    Alcotest.(check bool) "all gaps zero" true (contains ~needle:"0.00e+00" report);
+    Alcotest.(check bool) "no nonzero gap" false (contains ~needle:"e-0" report)
+
+let test_ablation_k () = check_report "ablation-k" ~extra:[ "summary size"; "build time" ]
+
+let test_ablation_pairs () = check_report "ablation-pairs" ~extra:[ "mean spread"; "voting err" ]
+
+let test_incremental () =
+  let suite = Lazy.force suite in
+  match Experiments.run suite "incr" with
+  | None -> Alcotest.fail "incr missing"
+  | Some report ->
+    (* Every dataset row must report zero count mismatches: the merged
+       summary's counts equal the sum of per-half exact counts. *)
+    let rows =
+      List.filter
+        (fun line ->
+          List.exists
+            (fun d -> String.length line > 0 && contains ~needle:d.Dataset.name line)
+            Dataset.all)
+        (String.split_on_char '\n' report)
+    in
+    Alcotest.(check int) "four dataset rows" 4 (List.length rows);
+    List.iter
+      (fun row ->
+        let fields =
+          List.filter (fun s -> s <> "") (String.split_on_char ' ' row)
+        in
+        (* name, merged patterns, mismatches, build, "s", add, "s" *)
+        match fields with
+        | _name :: _patterns :: mismatches :: _ ->
+          Alcotest.(check string) ("no mismatches in: " ^ row) "0" mismatches
+        | _ -> Alcotest.failf "unparseable row %S" row)
+      rows
+
+let test_pathcmp () = check_report "pathcmp" ~extra:[ "markov path err"; "lattice twig err" ]
+
+let test_adaptive () = check_report "adaptive" ~extra:[ "err (1st half)"; "patterns learned" ]
+
+let test_joinopt () = check_report "joinopt" ~extra:[ "naive tuples"; "guided tuples" ]
+
+let test_run_all_concatenates () =
+  let suite = Lazy.force suite in
+  let all = Experiments.run_all suite in
+  List.iter
+    (fun (id, _, _) ->
+      Alcotest.(check bool) (id ^ " present in run_all") true (contains ~needle:("== " ^ id ^ ":") all))
+    Experiments.all_experiments
+
+(* --- report helpers ------------------------------------------------------------------ *)
+
+let test_report_helpers () =
+  Alcotest.(check string) "percent" "12.34%" (Report.percent 12.34);
+  Alcotest.(check string) "ms" "3.21 ms" (Report.ms 3.21);
+  Alcotest.(check string) "seconds" "1.50 s" (Report.seconds 1.5);
+  Alcotest.(check string) "kb" "2.0 KB" (Report.kb 2048);
+  Alcotest.(check bool) "section shape" true
+    (contains ~needle:"== id: title ==" (Report.section "id" "title"));
+  Alcotest.(check bool) "note indented" true (contains ~needle:"note:" (Report.note "hello"))
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "suite",
+        [
+          Alcotest.test_case "prepare" `Slow test_prepare_envs;
+          Alcotest.test_case "single dataset" `Slow test_single_dataset_suite;
+          Alcotest.test_case "config accessor" `Slow test_config_accessor;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "complete" `Quick test_registry_complete;
+          Alcotest.test_case "unknown id" `Slow test_unknown_experiment;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "table1" `Slow test_table1;
+          Alcotest.test_case "table2" `Slow test_table2;
+          Alcotest.test_case "table3" `Slow test_table3;
+          Alcotest.test_case "fig7" `Slow test_fig7;
+          Alcotest.test_case "fig8" `Slow test_fig8;
+          Alcotest.test_case "fig9" `Slow test_fig9;
+          Alcotest.test_case "fig10a" `Slow test_fig10a;
+          Alcotest.test_case "fig10b" `Slow test_fig10b;
+          Alcotest.test_case "fig10c" `Slow test_fig10c;
+          Alcotest.test_case "fig10d" `Slow test_fig10d;
+          Alcotest.test_case "negative" `Slow test_negative;
+          Alcotest.test_case "lemma4" `Slow test_lemma4;
+          Alcotest.test_case "ablation-k" `Slow test_ablation_k;
+          Alcotest.test_case "ablation-pairs" `Slow test_ablation_pairs;
+          Alcotest.test_case "incremental" `Slow test_incremental;
+          Alcotest.test_case "pathcmp" `Slow test_pathcmp;
+          Alcotest.test_case "adaptive" `Slow test_adaptive;
+          Alcotest.test_case "joinopt" `Slow test_joinopt;
+          Alcotest.test_case "run_all" `Slow test_run_all_concatenates;
+        ] );
+      ("report", [ Alcotest.test_case "helpers" `Quick test_report_helpers ]);
+    ]

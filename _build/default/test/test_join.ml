@@ -1,0 +1,242 @@
+(* Tests for twig evaluation plans and the structural-join executor. *)
+
+module Plan = Tl_join.Plan
+module Executor = Tl_join.Executor
+module Twig = Tl_twig.Twig
+module Match_count = Tl_twig.Match_count
+module Summary = Tl_lattice.Summary
+module Data_tree = Tl_tree.Data_tree
+module TB = Tl_tree.Tree_builder
+
+(* --- plans -------------------------------------------------------------------- *)
+
+let sample_twig tree q = Helpers.twig_of_string tree q
+
+let test_naive_plan_valid () =
+  let tree = Helpers.tree_of Helpers.shop_spec in
+  let plan = Plan.naive (sample_twig tree "computer(laptops(laptop(brand,price)))") in
+  Alcotest.(check (result unit string)) "valid" (Ok ()) (Plan.validate plan);
+  Alcotest.(check int) "root first" 0 plan.Plan.order.(0)
+
+let test_validate_rejections () =
+  let tree = Helpers.tree_of Helpers.shop_spec in
+  let twig = sample_twig tree "laptop(brand,price)" in
+  let reject order reason =
+    match Plan.validate { Plan.twig; order } with
+    | Error _ -> ()
+    | Ok () -> Alcotest.failf "expected rejection: %s" reason
+  in
+  reject [| 0; 1 |] "wrong length";
+  reject [| 0; 1; 1 |] "duplicate";
+  reject [| 0; 1; 9 |] "out of bounds";
+  reject [| 1; 2; 0 |] "disconnected prefix (two leaves first)"
+
+let test_greedy_plan_valid_and_seeded () =
+  (* One laptop vs many brands: greedy should anchor on the rarer side. *)
+  let tree =
+    TB.build
+      (TB.node "shop"
+         (TB.node "laptop" [ TB.leaf "brand" ] :: TB.replicate 9 (TB.leaf "brand")))
+  in
+  let summary = Summary.build ~k:3 tree in
+  let twig = sample_twig tree "laptop(brand)" in
+  let plan = Plan.greedy summary twig in
+  Alcotest.(check (result unit string)) "valid" (Ok ()) (Plan.validate plan);
+  let ix = Twig.index twig in
+  let seed_label = ix.Twig.node_labels.(plan.Plan.order.(0)) in
+  Alcotest.(check string) "seeds on the rare label" "laptop" (Data_tree.label_name tree seed_label)
+
+let test_prefix_twigs () =
+  let tree = Helpers.tree_of Helpers.shop_spec in
+  let plan = Plan.naive (sample_twig tree "laptop(brand,price)") in
+  let prefixes = Plan.prefix_twigs plan in
+  Alcotest.(check (list int)) "growing sizes" [ 1; 2; 3 ] (List.map Twig.size prefixes)
+
+let test_estimated_cost_positive () =
+  let tree = Helpers.tree_of Helpers.shop_spec in
+  let summary = Summary.build ~k:3 tree in
+  let plan = Plan.naive (sample_twig tree "laptop(brand,price)") in
+  Alcotest.(check bool) "positive cost" true (Plan.estimated_cost summary plan > 0.0)
+
+let test_pp () =
+  let tree = Helpers.tree_of Helpers.shop_spec in
+  let plan = Plan.naive (sample_twig tree "laptop(brand)") in
+  Alcotest.(check string) "rendered" "laptop > brand"
+    (Plan.pp ~names:(Data_tree.label_name tree) plan)
+
+(* --- executor ------------------------------------------------------------------- *)
+
+let test_executor_counts_fig1 () =
+  let tree = Helpers.tree_of Helpers.shop_spec in
+  let twig = sample_twig tree "laptop(brand,price)" in
+  let stats = Executor.run tree (Plan.naive twig) in
+  Alcotest.(check int) "two matches" 2 stats.Executor.result_count;
+  Alcotest.(check bool) "work accounted" true (stats.Executor.tuples_materialized >= 2);
+  Alcotest.(check bool) "peak sane" true (stats.Executor.peak_relation >= 2)
+
+let test_executor_every_order_agrees () =
+  (* All valid plans must produce the same result count. *)
+  let tree = Helpers.tree_of Helpers.fig11_spec in
+  let ctx = Match_count.create_ctx tree in
+  let twig = sample_twig tree "a(b(c,d))" in
+  let truth = Match_count.selectivity ctx twig in
+  let orders = [ [| 0; 1; 2; 3 |]; [| 1; 0; 2; 3 |]; [| 2; 1; 3; 0 |]; [| 3; 1; 2; 0 |]; [| 1; 2; 3; 0 |] ] in
+  List.iter
+    (fun order ->
+      let plan = { Plan.twig = Twig.canonicalize twig; order } in
+      match Plan.validate plan with
+      | Error m -> Alcotest.failf "order invalid (%s)" m
+      | Ok () ->
+        Alcotest.(check int)
+          (Printf.sprintf "order [%s]" (String.concat ";" (List.map string_of_int (Array.to_list order))))
+          truth
+          (Executor.run tree plan).Executor.result_count)
+    orders
+
+let test_executor_upward_intersection () =
+  (* Binding a parent from two bound children requires both to share it. *)
+  let tree =
+    TB.build
+      (TB.node "r"
+         [ TB.node "p" [ TB.leaf "x"; TB.leaf "y" ]; TB.node "p" [ TB.leaf "x" ]; TB.leaf "y" ])
+  in
+  let twig = sample_twig tree "p(x,y)" in
+  let ix = Twig.index twig in
+  (* Bind both leaves first, then the parent. *)
+  let x_idx = if ix.Twig.node_labels.(1) = Option.get (Data_tree.label_of_string tree "x") then 1 else 2 in
+  let y_idx = 3 - x_idx in
+  let plan = { Plan.twig = Twig.canonicalize twig; order = [| x_idx; 0; y_idx |] } in
+  (* order [x; p; y] is fine, but go child-child-parent: *)
+  let plan2 = { plan with order = [| x_idx; y_idx; 0 |] } in
+  (match Plan.validate plan2 with
+  | Ok () -> Alcotest.fail "child-child prefix should be disconnected and rejected"
+  | Error _ -> ());
+  Alcotest.(check int) "count via child-parent-child" 1 (Executor.run tree plan).Executor.result_count
+
+let test_executor_sibling_injectivity () =
+  let tree = TB.build (TB.node "b" (TB.replicate 3 (TB.leaf "c"))) in
+  let twig = sample_twig tree "b(c,c)" in
+  let stats = Executor.run tree (Plan.naive twig) in
+  Alcotest.(check int) "injective pairs" 6 stats.Executor.result_count
+
+let test_run_matches () =
+  let tree = Helpers.tree_of Helpers.shop_spec in
+  let twig = sample_twig tree "laptop(brand,price)" in
+  let matches = Executor.run_matches tree (Plan.naive twig) in
+  Alcotest.(check int) "both matches" 2 (List.length matches);
+  List.iter
+    (fun m -> Alcotest.(check bool) "validates" true (Tl_twig.Match_enum.is_match tree twig m))
+    matches;
+  Alcotest.(check int) "limited" 1 (List.length (Executor.run_matches ~limit:1 tree (Plan.naive twig)))
+
+let test_cap_truncates () =
+  (* b with 30 c-children: query b(c,c,c) materializes 30 + 30*29 + ... —
+     a tiny cap must abort cleanly. *)
+  let tree = TB.build (TB.node "b" (TB.replicate 30 (TB.leaf "c"))) in
+  let twig = sample_twig tree "b(c,c,c)" in
+  let stats = Executor.run ~cap:100 tree (Plan.naive twig) in
+  Alcotest.(check bool) "truncated" true stats.Executor.truncated;
+  Alcotest.(check int) "charged the cap" 100 stats.Executor.tuples_materialized;
+  Alcotest.(check int) "no results" 0 stats.Executor.result_count;
+  let full = Executor.run tree (Plan.naive twig) in
+  Alcotest.(check bool) "default cap suffices" false full.Executor.truncated;
+  Alcotest.(check int) "injective triples" (30 * 29 * 28) full.Executor.result_count;
+  Alcotest.check_raises "bad cap" (Invalid_argument "Executor.run: cap must be positive") (fun () ->
+      ignore (Executor.run ~cap:0 tree (Plan.naive twig)))
+
+let test_invalid_plan_rejected () =
+  let tree = Helpers.tree_of Helpers.shop_spec in
+  let twig = Twig.canonicalize (sample_twig tree "laptop(brand,price)") in
+  match Executor.run tree { Plan.twig; order = [| 1; 2; 0 |] } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected invalid plan rejection"
+
+(* --- optimization effect ------------------------------------------------------------ *)
+
+let test_greedy_beats_naive_on_skewed_data () =
+  (* Many open auctions, few with both a bidder and an annotation; anchoring
+     on the rare side shrinks intermediates. *)
+  let tree = Tl_datasets.Dataset.tree Tl_datasets.Dataset.xmark ~target:6_000 ~seed:11 in
+  let summary = Summary.build ~k:4 tree in
+  let ctx = Match_count.create_ctx tree in
+  let queries =
+    [ "open_auction(bidder(date,increase),seller,annotation)"; "person(name,watches(watch))" ]
+  in
+  List.iter
+    (fun q ->
+      let twig = sample_twig tree q in
+      let naive_stats = Executor.run tree (Plan.naive twig) in
+      let greedy_stats = Executor.run tree (Plan.greedy summary twig) in
+      Alcotest.(check int) (q ^ ": same result") naive_stats.Executor.result_count
+        greedy_stats.Executor.result_count;
+      Alcotest.(check int) (q ^ ": exact") (Match_count.selectivity ctx twig)
+        greedy_stats.Executor.result_count;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: greedy (%d) <= naive (%d) tuples" q
+           greedy_stats.Executor.tuples_materialized naive_stats.Executor.tuples_materialized)
+        true
+        (greedy_stats.Executor.tuples_materialized <= naive_stats.Executor.tuples_materialized))
+    queries
+
+(* --- properties ------------------------------------------------------------------------ *)
+
+let prop_executor_equals_dp =
+  Helpers.qcheck_case ~name:"executor count = DP count for naive and greedy plans" ~count:40
+    (Helpers.tree_gen ~max_nodes:18)
+    (fun tree ->
+      let ctx = Match_count.create_ctx tree in
+      let summary = Summary.build ~k:3 tree in
+      let rng = Tl_util.Xorshift.create 61 in
+      let ok = ref true in
+      for _ = 1 to 4 do
+        match Tl_twig.Twig_enum.random_subtree rng tree ~size:4 with
+        | None -> ()
+        | Some twig ->
+          let truth = Match_count.selectivity ctx twig in
+          if (Executor.run tree (Plan.naive twig)).Executor.result_count <> truth then ok := false;
+          if (Executor.run tree (Plan.greedy summary twig)).Executor.result_count <> truth then
+            ok := false
+      done;
+      !ok)
+
+let prop_greedy_plans_validate =
+  Helpers.qcheck_case ~name:"greedy plans always validate" ~count:40
+    (Helpers.tree_gen ~max_nodes:18)
+    (fun tree ->
+      let summary = Summary.build ~k:3 tree in
+      let rng = Tl_util.Xorshift.create 67 in
+      let ok = ref true in
+      for _ = 1 to 4 do
+        match Tl_twig.Twig_enum.random_subtree rng tree ~size:5 with
+        | None -> ()
+        | Some twig -> if Plan.validate (Plan.greedy summary twig) <> Ok () then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "join"
+    [
+      ( "plans",
+        [
+          Alcotest.test_case "naive valid" `Quick test_naive_plan_valid;
+          Alcotest.test_case "validate rejections" `Quick test_validate_rejections;
+          Alcotest.test_case "greedy valid and seeded" `Quick test_greedy_plan_valid_and_seeded;
+          Alcotest.test_case "prefix twigs" `Quick test_prefix_twigs;
+          Alcotest.test_case "estimated cost" `Quick test_estimated_cost_positive;
+          Alcotest.test_case "pp" `Quick test_pp;
+          prop_greedy_plans_validate;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "fig1 counts" `Quick test_executor_counts_fig1;
+          Alcotest.test_case "order independence" `Quick test_executor_every_order_agrees;
+          Alcotest.test_case "upward intersection" `Quick test_executor_upward_intersection;
+          Alcotest.test_case "sibling injectivity" `Quick test_executor_sibling_injectivity;
+          Alcotest.test_case "run_matches" `Quick test_run_matches;
+          Alcotest.test_case "cap truncates" `Quick test_cap_truncates;
+          Alcotest.test_case "invalid plan" `Quick test_invalid_plan_rejected;
+          prop_executor_equals_dp;
+        ] );
+      ( "optimization",
+        [ Alcotest.test_case "greedy beats naive" `Slow test_greedy_beats_naive_on_skewed_data ] );
+    ]

@@ -1,0 +1,116 @@
+(* Scale and robustness: deep documents, wide documents, and an
+   end-to-end pass over a larger dataset.  These guard against stack
+   overflows and quadratic traps that small unit tests cannot see. *)
+
+module Data_tree = Tl_tree.Data_tree
+module Tree_load = Tl_tree.Tree_load
+module Summary = Tl_lattice.Summary
+module Match_count = Tl_twig.Match_count
+module Twig = Tl_twig.Twig
+
+(* --- pathological shapes --------------------------------------------------- *)
+
+let deep_document depth =
+  let buf = Buffer.create (8 * depth) in
+  for _ = 1 to depth do
+    Buffer.add_string buf "<d>"
+  done;
+  Buffer.add_string buf "<leaf/>";
+  for _ = 1 to depth do
+    Buffer.add_string buf "</d>"
+  done;
+  Buffer.contents buf
+
+let test_deep_document_sax () =
+  (* The SAX route is iterative end to end: very deep nesting must load. *)
+  let depth = 200_000 in
+  let tree = Tree_load.of_string (deep_document depth) in
+  Alcotest.(check int) "all nodes" (depth + 1) (Data_tree.size tree);
+  Alcotest.(check int) "depth" (depth + 1) (Data_tree.depth tree);
+  (* Postorder and stats are iterative too. *)
+  Alcotest.(check int) "postorder covers" (depth + 1) (Array.length (Data_tree.postorder tree));
+  let stats = Tl_tree.Tree_stats.compute tree in
+  Alcotest.(check int) "stats nodes" (depth + 1) stats.Tl_tree.Tree_stats.nodes
+
+let test_deep_document_counting () =
+  let depth = 50_000 in
+  let tree = Tree_load.of_string (deep_document depth) in
+  let ctx = Match_count.create_ctx tree in
+  let d = Option.get (Data_tree.label_of_string tree "d") in
+  (* A 3-chain of d's occurs depth-2 times. *)
+  Alcotest.(check int) "chain count" (depth - 2) (Match_count.selectivity ctx (Twig.of_path [ d; d; d ]))
+
+let test_wide_document () =
+  (* One node with 100k children. *)
+  let buf = Buffer.create (1 lsl 20) in
+  Buffer.add_string buf "<r>";
+  for i = 0 to 99_999 do
+    Buffer.add_string buf (if i mod 2 = 0 then "<even/>" else "<odd/>")
+  done;
+  Buffer.add_string buf "</r>";
+  let tree = Tree_load.of_string (Buffer.contents buf) in
+  Alcotest.(check int) "size" 100_001 (Data_tree.size tree);
+  let ctx = Match_count.create_ctx tree in
+  let r = Option.get (Data_tree.label_of_string tree "r") in
+  let even = Option.get (Data_tree.label_of_string tree "even") in
+  let odd = Option.get (Data_tree.label_of_string tree "odd") in
+  Alcotest.(check int) "pair count" (50_000 * 50_000)
+    (Match_count.selectivity ctx (Twig.node r [ Twig.leaf even; Twig.leaf odd ]))
+
+(* --- end-to-end on a larger dataset ------------------------------------------ *)
+
+let test_end_to_end_larger_dataset () =
+  let tree = Tl_datasets.Dataset.tree Tl_datasets.Dataset.xmark ~target:60_000 ~seed:3 in
+  Alcotest.(check bool) "dataset size" true (Data_tree.size tree > 50_000);
+  let ctx = Match_count.create_ctx tree in
+  let summary, ms = Tl_util.Timer.time_ms (fun () -> Summary.build ~k:4 tree) in
+  Alcotest.(check bool) "mining under 10s" true (ms < 10_000.0);
+  Alcotest.(check bool) "patterns found" true (Summary.entries summary > 300);
+  (* Stored counts are exact. *)
+  let checked = ref 0 in
+  Summary.fold
+    (fun twig count () ->
+      if !checked < 50 && Twig.size twig = 4 then begin
+        incr checked;
+        Alcotest.(check int) (Twig.encode twig) (Match_count.selectivity ctx twig) count
+      end)
+    summary ();
+  Alcotest.(check bool) "some level-4 patterns checked" true (!checked > 10);
+  (* Estimation throughput: size-7 queries well under a millisecond each. *)
+  let wl = Tl_workload.Workload.positive ~seed:5 ctx ~size:7 ~count:10 in
+  let _, elapsed =
+    Tl_util.Timer.time_ms (fun () ->
+        Array.iter
+          (fun q ->
+            ignore (Tl_core.Estimator.estimate summary Recursive_voting q.Tl_workload.Workload.twig))
+          wl.Tl_workload.Workload.queries)
+  in
+  let per_query = elapsed /. float_of_int (max 1 (Array.length wl.Tl_workload.Workload.queries)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimation fast enough (%.2f ms/query)" per_query)
+    true (per_query < 50.0)
+
+let test_summary_io_scales () =
+  let tree = Tl_datasets.Dataset.tree Tl_datasets.Dataset.imdb ~target:20_000 ~seed:3 in
+  let summary = Summary.build ~k:4 tree in
+  let names = Data_tree.label_names tree in
+  let text = Tl_lattice.Summary_io.save ~names summary in
+  let loaded, _ = Tl_lattice.Summary_io.load text in
+  Alcotest.(check int) "thousands of patterns roundtrip" (Summary.entries summary)
+    (Summary.entries loaded)
+
+let () =
+  Alcotest.run "scale"
+    [
+      ( "pathological",
+        [
+          Alcotest.test_case "deep document via sax" `Slow test_deep_document_sax;
+          Alcotest.test_case "deep document counting" `Slow test_deep_document_counting;
+          Alcotest.test_case "wide document" `Slow test_wide_document;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "larger dataset" `Slow test_end_to_end_larger_dataset;
+          Alcotest.test_case "summary io" `Slow test_summary_io_scales;
+        ] );
+    ]

@@ -1,0 +1,90 @@
+(* Tests for the DOT exports: well-formed digraphs with the expected nodes
+   and edges. *)
+
+module Dot = Tl_viz.Dot
+module Twig = Tl_twig.Twig
+module Data_tree = Tl_tree.Data_tree
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+let count_occurrences ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i acc =
+    if i + nl > hl then acc
+    else if String.sub haystack i nl = needle then scan (i + 1) (acc + 1)
+    else scan (i + 1) acc
+  in
+  scan 0 0
+
+let check_digraph out =
+  Alcotest.(check bool) "opens digraph" true (contains ~needle:"digraph" out);
+  Alcotest.(check bool) "closes" true (String.length out > 0 && out.[String.length out - 2] = '}')
+
+let names = function 0 -> "a" | 1 -> "b" | 2 -> "c" | _ -> "?"
+
+let test_twig_dot () =
+  let out = Dot.twig ~names (Twig.node 0 [ Twig.leaf 1; Twig.node 1 [ Twig.leaf 2 ] ]) in
+  check_digraph out;
+  Alcotest.(check int) "four nodes" 4 (count_occurrences ~needle:"label=" out);
+  Alcotest.(check int) "three edges" 3 (count_occurrences ~needle:" -> " out);
+  Alcotest.(check bool) "names used" true (contains ~needle:"\"a\"" out)
+
+let test_twig_dot_escaping () =
+  let weird = function _ -> {|ta"g\x|} in
+  let out = Dot.twig ~names:weird (Twig.leaf 0) in
+  check_digraph out;
+  Alcotest.(check bool) "quote escaped" true (contains ~needle:{|\"|} out)
+
+let test_value_query_dot () =
+  let q =
+    Tl_values.Value_query.node 0 [ Tl_values.Value_query.leaf ~value:"cs" 1; Tl_values.Value_query.leaf 2 ]
+  in
+  let out = Dot.value_query ~names q in
+  check_digraph out;
+  Alcotest.(check bool) "value rendered" true (contains ~needle:"= cs" out)
+
+let test_plan_dot () =
+  let twig = Twig.node 0 [ Twig.leaf 1; Twig.leaf 2 ] in
+  let plan = Tl_join.Plan.naive twig in
+  let out = Dot.plan ~names plan in
+  check_digraph out;
+  Alcotest.(check bool) "steps annotated" true (contains ~needle:"#0" out);
+  Alcotest.(check bool) "seed bold" true (contains ~needle:"style=bold" out)
+
+let test_synopsis_dot () =
+  let tree = Helpers.tree_of Helpers.fig11_spec in
+  let synopsis = Tl_sketch.Sketch_build.build ~refine_rounds:0 ~budget_bytes:(1024 * 1024) tree in
+  let out = Dot.synopsis ~names:(Data_tree.label_name tree) synopsis in
+  check_digraph out;
+  Alcotest.(check bool) "sizes shown" true (contains ~needle:"(4)" out);
+  Alcotest.(check bool) "weights shown" true (contains ~needle:"3.25" out)
+
+let test_data_tree_dot () =
+  let tree = Helpers.tree_of Helpers.shop_spec in
+  let out = Dot.data_tree tree in
+  check_digraph out;
+  Alcotest.(check int) "all nodes" (Data_tree.size tree) (count_occurrences ~needle:"label=" out)
+
+let test_data_tree_dot_elision () =
+  let tree = Helpers.tree_of Helpers.shop_spec in
+  let out = Dot.data_tree ~max_nodes:3 tree in
+  check_digraph out;
+  Alcotest.(check bool) "elision marked" true (contains ~needle:"..." out)
+
+let () =
+  Alcotest.run "viz"
+    [
+      ( "dot",
+        [
+          Alcotest.test_case "twig" `Quick test_twig_dot;
+          Alcotest.test_case "escaping" `Quick test_twig_dot_escaping;
+          Alcotest.test_case "value query" `Quick test_value_query_dot;
+          Alcotest.test_case "plan" `Quick test_plan_dot;
+          Alcotest.test_case "synopsis" `Quick test_synopsis_dot;
+          Alcotest.test_case "data tree" `Quick test_data_tree_dot;
+          Alcotest.test_case "elision" `Quick test_data_tree_dot_elision;
+        ] );
+    ]

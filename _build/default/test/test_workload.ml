@@ -1,0 +1,195 @@
+(* Tests for workload generation and the paper's error metric. *)
+
+module Workload = Tl_workload.Workload
+module Error_metric = Tl_workload.Error_metric
+module Match_count = Tl_twig.Match_count
+module Twig = Tl_twig.Twig
+module Dataset = Tl_datasets.Dataset
+
+let close = Alcotest.(check (float 1e-9))
+
+let ctx_of_tree tree = Match_count.create_ctx tree
+
+let sample_ctx () = ctx_of_tree (Dataset.tree Dataset.xmark ~target:2_000 ~seed:3)
+
+(* --- error metric -------------------------------------------------------------- *)
+
+let test_sanity_bound () =
+  let counts = Array.init 100 (fun i -> i + 1) in
+  close "10th percentile" 10.0 (Error_metric.sanity_bound counts);
+  close "floored at 10" 10.0 (Error_metric.sanity_bound [| 1; 2; 3 |]);
+  close "large counts" 100.0 (Error_metric.sanity_bound (Array.make 10 100));
+  Alcotest.check_raises "empty workload" (Invalid_argument "Error_metric.sanity_bound: empty workload")
+    (fun () -> ignore (Error_metric.sanity_bound [||]))
+
+let test_error_percent () =
+  close "exact" 0.0 (Error_metric.error_percent ~sanity:10.0 ~truth:100 ~estimate:100.0);
+  close "50% over" 50.0 (Error_metric.error_percent ~sanity:10.0 ~truth:100 ~estimate:150.0);
+  close "50% under" 50.0 (Error_metric.error_percent ~sanity:10.0 ~truth:100 ~estimate:50.0);
+  (* Low-count query: the sanity bound damps the percentage. *)
+  close "sanity damped" 20.0 (Error_metric.error_percent ~sanity:10.0 ~truth:2 ~estimate:4.0);
+  (* Zero-selectivity query estimated as 5: 5/10 = 50%. *)
+  close "negative query" 50.0 (Error_metric.error_percent ~sanity:10.0 ~truth:0 ~estimate:5.0)
+
+let test_average_percent () =
+  let pairs = [| (100, 150.0); (100, 100.0) |] in
+  close "average" 25.0 (Error_metric.average_percent ~sanity:10.0 pairs);
+  close "empty" 0.0 (Error_metric.average_percent ~sanity:10.0 [||])
+
+let test_cdf () =
+  let pairs = [| (100, 100.0); (100, 150.0); (100, 300.0) |] in
+  let cdf = Error_metric.cdf ~sanity:10.0 pairs in
+  Alcotest.(check int) "three distinct errors" 3 (List.length cdf);
+  match cdf with
+  | (first_err, first_frac) :: _ ->
+    close "smallest error first" 0.0 first_err;
+    close "one third" (1.0 /. 3.0) first_frac
+  | [] -> Alcotest.fail "empty cdf"
+
+(* --- positive workloads ----------------------------------------------------------- *)
+
+let test_positive_basic () =
+  let ctx = sample_ctx () in
+  let wl = Workload.positive ~seed:11 ctx ~size:4 ~count:15 in
+  Alcotest.(check int) "requested size recorded" 4 wl.size;
+  Alcotest.(check bool) "got queries" true (Array.length wl.queries > 0);
+  Array.iter
+    (fun q ->
+      Alcotest.(check int) "query size" 4 (Twig.size q.Workload.twig);
+      Alcotest.(check bool) "positive truth" true (q.Workload.truth > 0);
+      Alcotest.(check int) "truth is exact count" (Match_count.selectivity ctx q.Workload.twig)
+        q.Workload.truth)
+    wl.queries;
+  Alcotest.(check bool) "sanity >= 10" true (wl.sanity >= 10.0)
+
+let test_positive_distinct () =
+  let ctx = sample_ctx () in
+  let wl = Workload.positive ~seed:12 ctx ~size:5 ~count:20 in
+  let keys = Array.to_list (Array.map (fun q -> Twig.encode q.Workload.twig) wl.queries) in
+  Alcotest.(check int) "all distinct" (List.length keys) (List.length (List.sort_uniq compare keys))
+
+let test_positive_deterministic () =
+  let ctx = sample_ctx () in
+  let wl1 = Workload.positive ~seed:13 ctx ~size:4 ~count:10 in
+  let wl2 = Workload.positive ~seed:13 ctx ~size:4 ~count:10 in
+  let keys wl = Array.map (fun q -> Twig.encode q.Workload.twig) wl.Workload.queries in
+  Alcotest.(check (array string)) "same workload" (keys wl1) (keys wl2)
+
+let test_positive_sweep () =
+  let ctx = sample_ctx () in
+  let wls = Workload.positive_sweep ~seed:14 ctx ~sizes:[ 4; 5; 6 ] ~count:5 in
+  Alcotest.(check (list int)) "sizes in order" [ 4; 5; 6 ] (List.map (fun wl -> wl.Workload.size) wls)
+
+let test_positive_validation () =
+  let ctx = sample_ctx () in
+  Alcotest.check_raises "size >= 1" (Invalid_argument "Workload.positive: size must be >= 1")
+    (fun () -> ignore (Workload.positive ~seed:1 ctx ~size:0 ~count:5));
+  Alcotest.check_raises "count >= 1" (Invalid_argument "Workload.positive: count must be >= 1")
+    (fun () -> ignore (Workload.positive ~seed:1 ctx ~size:3 ~count:0))
+
+let test_positive_exhausts_small_tree () =
+  (* A tiny tree has few distinct patterns; the sampler must stop without
+     spinning forever and return what exists. *)
+  let tree = Helpers.tree_of Helpers.shop_spec in
+  let ctx = ctx_of_tree tree in
+  let wl = Workload.positive ~seed:15 ctx ~size:3 ~count:500 in
+  Alcotest.(check bool) "some but not 500" true
+    (Array.length wl.queries > 0 && Array.length wl.queries < 500)
+
+(* --- negative workloads -------------------------------------------------------------- *)
+
+let test_negative_basic () =
+  let ctx = sample_ctx () in
+  let base = Workload.positive ~seed:16 ctx ~size:4 ~count:15 in
+  let neg = Workload.negative ~seed:17 ctx ~base ~count:10 in
+  Alcotest.(check bool) "got negatives" true (Array.length neg.queries > 0);
+  Array.iter
+    (fun q ->
+      Alcotest.(check int) "zero selectivity" 0 q.Workload.truth;
+      Alcotest.(check int) "zero by matching too" 0 (Match_count.selectivity ctx q.Workload.twig);
+      Alcotest.(check int) "same size as base" 4 (Twig.size q.Workload.twig))
+    neg.queries;
+  close "sanity inherited" base.sanity neg.sanity
+
+let test_negative_deterministic () =
+  let ctx = sample_ctx () in
+  let base = Workload.positive ~seed:18 ctx ~size:4 ~count:10 in
+  let keys wl = Array.map (fun q -> Twig.encode q.Workload.twig) wl.Workload.queries in
+  Alcotest.(check (array string)) "stable"
+    (keys (Workload.negative ~seed:19 ctx ~base ~count:8))
+    (keys (Workload.negative ~seed:19 ctx ~base ~count:8))
+
+let test_negative_by_kind () =
+  let ctx = sample_ctx () in
+  let base = Workload.positive ~seed:22 ctx ~size:5 ~count:12 in
+  let by_kind = Workload.negative_by_kind ~seed:23 ctx ~base ~count:6 in
+  Alcotest.(check bool) "at least root and leaf kinds" true (List.length by_kind >= 2);
+  List.iter
+    (fun (kind, wl) ->
+      Alcotest.(check bool)
+        (Workload.mutation_kind_name kind ^ " non-empty")
+        true
+        (Array.length wl.Workload.queries > 0);
+      Array.iter
+        (fun q -> Alcotest.(check int) "zero selectivity" 0 q.Workload.truth)
+        wl.Workload.queries)
+    by_kind;
+  let names = List.map (fun (k, _) -> Workload.mutation_kind_name k) by_kind in
+  Alcotest.(check int) "kinds distinct" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_mutation_kind_names () =
+  Alcotest.(check (list string)) "names"
+    [ "root"; "internal"; "leaf" ]
+    (List.map Workload.mutation_kind_name
+       [ Workload.Relabel_root; Workload.Relabel_internal; Workload.Relabel_leaf ])
+
+let test_pairs_runner () =
+  let ctx = sample_ctx () in
+  let wl = Workload.positive ~seed:20 ctx ~size:4 ~count:5 in
+  let pairs = Workload.pairs wl ~estimate:(fun _ -> 7.5) in
+  Alcotest.(check int) "one pair per query" (Array.length wl.queries) (Array.length pairs);
+  Array.iter (fun (truth, est) ->
+      Alcotest.(check bool) "truth positive" true (truth > 0);
+      close "estimate threaded" 7.5 est)
+    pairs
+
+(* --- properties -------------------------------------------------------------------------- *)
+
+let prop_positive_queries_occur =
+  Helpers.qcheck_case ~name:"positive workload queries occur in the document" ~count:20
+    (Helpers.tree_gen ~max_nodes:30)
+    (fun tree ->
+      let ctx = ctx_of_tree tree in
+      let wl = Workload.positive ~seed:21 ctx ~size:3 ~count:5 in
+      Array.for_all (fun q -> q.Workload.truth > 0) wl.queries)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "error_metric",
+        [
+          Alcotest.test_case "sanity bound" `Quick test_sanity_bound;
+          Alcotest.test_case "error percent" `Quick test_error_percent;
+          Alcotest.test_case "average" `Quick test_average_percent;
+          Alcotest.test_case "cdf" `Quick test_cdf;
+        ] );
+      ( "positive",
+        [
+          Alcotest.test_case "basic" `Quick test_positive_basic;
+          Alcotest.test_case "distinct" `Quick test_positive_distinct;
+          Alcotest.test_case "deterministic" `Quick test_positive_deterministic;
+          Alcotest.test_case "sweep" `Quick test_positive_sweep;
+          Alcotest.test_case "validation" `Quick test_positive_validation;
+          Alcotest.test_case "small tree exhaustion" `Quick test_positive_exhausts_small_tree;
+          prop_positive_queries_occur;
+        ] );
+      ( "negative",
+        [
+          Alcotest.test_case "basic" `Quick test_negative_basic;
+          Alcotest.test_case "deterministic" `Quick test_negative_deterministic;
+          Alcotest.test_case "by kind" `Quick test_negative_by_kind;
+          Alcotest.test_case "kind names" `Quick test_mutation_kind_names;
+          Alcotest.test_case "pairs runner" `Quick test_pairs_runner;
+        ] );
+    ]
