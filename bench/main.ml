@@ -10,7 +10,16 @@
    measured with proper linear-regression timing rather than single-shot
    stopwatches.
 
-   Usage: main.exe [--quick] [--skip-micro] [--target N] *)
+   Between the phases, the parallel-build section times summary
+   construction sequentially and across the -j N domain pool, checks the
+   two summaries are identical, and reports the speedup.
+
+   Every measurement is also collected as a machine-readable row
+   (experiment id, dataset, metric, value, wall-clock ms) and written to
+   BENCH_summary.json — and to --json FILE when given — so the perf
+   trajectory is diffable across PRs.
+
+   Usage: main.exe [--quick] [--skip-micro] [--target N] [-j N] [--json FILE] *)
 
 open Bechamel
 module Experiments = Tl_harness.Experiments
@@ -19,6 +28,8 @@ module Data_tree = Tl_tree.Data_tree
 module Summary = Tl_lattice.Summary
 module Estimator = Tl_core.Estimator
 module Twig = Tl_twig.Twig
+module Pool = Tl_util.Pool
+module Timer = Tl_util.Timer
 
 let has_flag name = Array.exists (String.equal name) Sys.argv
 
@@ -28,6 +39,75 @@ let arg_value name =
     (fun i a -> if String.equal a name && i + 1 < Array.length Sys.argv then result := Some Sys.argv.(i + 1))
     Sys.argv;
   !result
+
+let int_arg name =
+  Option.map
+    (fun v ->
+      match int_of_string_opt v with
+      | Some n -> n
+      | None ->
+        Printf.eprintf "%s expects an integer, got %S\n" name v;
+        exit 2)
+    (arg_value name)
+
+(* --- machine-readable result rows ---------------------------------------- *)
+
+type row = { experiment : string; dataset : string; metric : string; value : float; ms : float }
+
+let rows : row list ref = ref []
+
+let record ~experiment ~dataset ~metric ~value ~ms =
+  rows := { experiment; dataset; metric; value; ms } :: !rows
+
+let row_json { experiment; dataset; metric; value; ms } =
+  Printf.sprintf
+    {|    {"experiment": %S, "dataset": %S, "metric": %S, "value": %.6f, "wall_clock_ms": %.3f}|}
+    experiment dataset metric value ms
+
+let write_json ~jobs ~target ~quick path =
+  match open_out path with
+  | exception Sys_error msg -> Printf.eprintf "cannot write %s: %s\n%!" path msg
+  | oc ->
+  Printf.fprintf oc
+    "{\n  \"bench\": \"treelattice\",\n  \"jobs\": %d,\n  \"target\": %d,\n  \"quick\": %b,\n  \"rows\": [\n%s\n  ]\n}\n"
+    jobs target quick
+    (String.concat ",\n" (List.rev_map row_json !rows));
+  close_out oc;
+  Printf.printf "wrote %s (%d rows)\n%!" path (List.length !rows)
+
+(* --- parallel summary construction --------------------------------------- *)
+
+(* The tentpole measurement: lattice build time sequentially vs across the
+   domain pool, with a structural identity check — the parallel summary
+   must hold exactly the sequential pattern counts. *)
+let summaries_equal a b =
+  Summary.entries a = Summary.entries b
+  && Summary.fold
+       (fun twig count ok -> ok && Summary.find b twig = Some count)
+       a true
+
+let run_parallel_build ~jobs ~k pool suite =
+  print_string
+    (Tl_harness.Report.section "parallel-build"
+       (Printf.sprintf "lattice build: sequential vs -j %d domain pool" jobs));
+  List.iter
+    (fun env ->
+      let name = env.Experiments.dataset.Dataset.name in
+      let tree = env.Experiments.tree in
+      let seq, seq_ms = Timer.time_ms (fun () -> Summary.build ~k tree) in
+      let par, par_ms = Timer.time_ms (fun () -> Summary.build ~pool ~k tree) in
+      let speedup = seq_ms /. Float.max 1e-9 par_ms in
+      let identical = summaries_equal seq par in
+      Printf.printf "  %-8s seq %8.1f ms   par %8.1f ms   speedup %.2fx   identical: %b\n%!" name
+        seq_ms par_ms speedup identical;
+      if not identical then failwith ("parallel summary differs from sequential on " ^ name);
+      record ~experiment:"parallel-build" ~dataset:name ~metric:"seq_build_ms" ~value:seq_ms
+        ~ms:seq_ms;
+      record ~experiment:"parallel-build" ~dataset:name ~metric:"par_build_ms" ~value:par_ms
+        ~ms:par_ms;
+      record ~experiment:"parallel-build" ~dataset:name ~metric:"speedup" ~value:speedup
+        ~ms:(seq_ms +. par_ms))
+    (Experiments.envs suite)
 
 (* --- phase 2: micro-benchmarks ------------------------------------------ *)
 
@@ -182,19 +262,36 @@ let () =
   let quick = has_flag "--quick" in
   let config = if quick then Experiments.quick_config else Experiments.default_config in
   let config =
-    match arg_value "--target" with
-    | Some t -> { config with Experiments.target = int_of_string t }
+    match int_arg "--target" with
+    | Some t -> { config with Experiments.target = t }
     | None -> config
   in
+  let jobs = match int_arg "-j" with Some j -> max 1 j | None -> 1 in
+  let pool = Pool.create ~domains:jobs () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
   Printf.printf
-    "TreeLattice reproduction bench (target=%d elements/dataset, k=%d, %d queries/size)\n%!"
-    config.Experiments.target config.Experiments.k config.Experiments.queries_per_size;
-  let suite, ms = Tl_util.Timer.time_ms (fun () -> Experiments.make_suite config) in
+    "TreeLattice reproduction bench (target=%d elements/dataset, k=%d, %d queries/size, -j %d)\n%!"
+    config.Experiments.target config.Experiments.k config.Experiments.queries_per_size jobs;
+  let suite, ms = Timer.time_ms (fun () -> Experiments.make_suite ~pool config) in
   Printf.printf "prepared 4 datasets in %.1f s\n%!" (ms /. 1000.0);
+  record ~experiment:"prepare" ~dataset:"all" ~metric:"suite_prepare_ms" ~value:ms ~ms;
+  List.iter
+    (fun env ->
+      record ~experiment:"table3" ~dataset:env.Experiments.dataset.Dataset.name
+        ~metric:"lattice_build_ms" ~value:env.Experiments.lattice_ms ~ms:env.Experiments.lattice_ms;
+      record ~experiment:"table3" ~dataset:env.Experiments.dataset.Dataset.name
+        ~metric:"summary_bytes"
+        ~value:(float_of_int (Summary.memory_bytes env.Experiments.summary))
+        ~ms:0.0)
+    (Experiments.envs suite);
   List.iter
     (fun (id, _, driver) ->
-      let report, ms = Tl_util.Timer.time_ms (fun () -> driver suite) in
+      let report, ms = Timer.time_ms (fun () -> driver suite) in
       print_string report;
-      Printf.printf "  [%s completed in %.1f s]\n%!" id (ms /. 1000.0))
+      Printf.printf "  [%s completed in %.1f s]\n%!" id (ms /. 1000.0);
+      record ~experiment:id ~dataset:"all" ~metric:"report_ms" ~value:ms ~ms)
     Experiments.all_experiments;
-  if not (has_flag "--skip-micro") then run_micro ()
+  run_parallel_build ~jobs ~k:config.Experiments.k pool suite;
+  if not (has_flag "--skip-micro") then run_micro ();
+  write_json ~jobs ~target:config.Experiments.target ~quick "BENCH_summary.json";
+  Option.iter (write_json ~jobs ~target:config.Experiments.target ~quick) (arg_value "--json")

@@ -33,6 +33,18 @@ let seed_arg = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"Random s
 
 let k_arg = Arg.(value & opt int 4 & info [ "k" ] ~docv:"K" ~doc:"Lattice depth (default 4).")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Domains for parallel mining and workload evaluation (default 1 = sequential; results \
+           are identical for any N).")
+
+(* A 1-domain pool spawns nothing and runs sequentially, so the pool can be
+   created unconditionally. *)
+let pool_of_jobs jobs = Tl_util.Pool.create ~domains:(max 1 jobs) ()
+
 let scheme_conv =
   let parse = function
     | "recursive" -> Ok Estimator.Recursive
@@ -88,16 +100,18 @@ let summarize_cmd =
     Arg.(
       required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Summary output path.")
   in
-  let run xml k output =
+  let run xml k jobs output =
     let tree = load_tree xml in
-    let summary, ms = Tl_util.Timer.time_ms (fun () -> Summary.build ~k tree) in
+    let pool = pool_of_jobs jobs in
+    let summary, ms = Tl_util.Timer.time_ms (fun () -> Summary.build ~pool ~k tree) in
+    Tl_util.Pool.shutdown pool;
     Summary_io.save_file ~names:(Data_tree.label_names tree) output summary;
     Printf.printf "mined %d patterns (%.0f ms, %d bytes) -> %s\n" (Summary.entries summary) ms
       (Summary.memory_bytes summary) output
   in
   Cmd.v
     (Cmd.info "summarize" ~doc:"Mine an XML document into a k-lattice summary file.")
-    Term.(const run $ xml_arg $ k_arg $ output)
+    Term.(const run $ xml_arg $ k_arg $ jobs_arg $ output)
 
 (* --- stats ------------------------------------------------------------------ *)
 
@@ -135,10 +149,13 @@ let mine_cmd =
       value & opt int 0
       & info [ "top" ] ~docv:"N" ~doc:"Also print the N most frequent patterns per level.")
   in
-  let run xml k top =
+  let run xml k jobs top =
     let tree = load_tree xml in
     let ctx = Tl_twig.Match_count.create_ctx tree in
-    let result = Tl_mining.Miner.mine ctx ~max_size:k in
+    let result =
+      Tl_util.Pool.with_pool ~domains:(max 1 jobs) (fun pool ->
+          Tl_mining.Miner.mine ~pool ctx ~max_size:k)
+    in
     Array.iteri
       (fun i count -> Printf.printf "level %d: %d patterns\n" (i + 1) count)
       (Tl_mining.Miner.patterns_per_level result);
@@ -156,7 +173,7 @@ let mine_cmd =
   in
   Cmd.v
     (Cmd.info "mine" ~doc:"Print occurring-pattern statistics of an XML document.")
-    Term.(const run $ xml_arg $ k_arg $ top)
+    Term.(const run $ xml_arg $ k_arg $ jobs_arg $ top)
 
 (* --- estimate --------------------------------------------------------------- *)
 
@@ -370,13 +387,14 @@ let exp_cmd =
       value & opt (some int) None & info [ "target" ] ~docv:"N" ~doc:"Override dataset element count.")
   in
   let list_flag = Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids and exit.") in
-  let run ids quick target list_flag =
+  let run ids quick target jobs list_flag =
     if list_flag then
       List.iter (fun (id, title, _) -> Printf.printf "%-8s %s\n" id title) Experiments.all_experiments
     else begin
       let config = if quick then Experiments.quick_config else Experiments.default_config in
       let config = match target with None -> config | Some t -> { config with target = t } in
-      let suite = Experiments.make_suite config in
+      Tl_util.Pool.with_pool ~domains:(max 1 jobs) @@ fun pool ->
+      let suite = Experiments.make_suite ~pool config in
       match ids with
       | [] -> print_string (Experiments.run_all suite)
       | ids ->
@@ -392,7 +410,7 @@ let exp_cmd =
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Run the paper-reproduction experiments.")
-    Term.(const run $ ids $ quick $ target $ list_flag)
+    Term.(const run $ ids $ quick $ target $ jobs_arg $ list_flag)
 
 let main =
   let doc = "TreeLattice: decomposition-based XML twig selectivity estimation" in

@@ -7,7 +7,7 @@ type t = { tree : Data_tree.t; ctx : Match_count.ctx; summary : Summary.t }
 
 let of_summary tree summary = { tree; ctx = Match_count.create_ctx tree; summary }
 
-let build ?(k = 4) tree = of_summary tree (Summary.build ~k tree)
+let build ?pool ?(k = 4) tree = of_summary tree (Summary.build ?pool ~k tree)
 
 let tree t = t.tree
 
@@ -69,9 +69,9 @@ let exact_xpath t query =
 
 let prune ?scheme t ~delta = { t with summary = Derivable.prune ?scheme t.summary ~delta }
 
-let add_document t other =
+let add_document ?pool t other =
   let remap = Array.map (Data_tree.intern_label t.tree) (Data_tree.label_names other) in
-  let mined = Tl_mining.Miner.mine (Match_count.create_ctx other) ~max_size:(k t) in
+  let mined = Tl_mining.Miner.mine ?pool (Match_count.create_ctx other) ~max_size:(k t) in
   let remapped =
     List.map
       (fun (twig, count) -> (Twig.canonicalize (Twig.map_labels (fun l -> remap.(l)) twig), count))

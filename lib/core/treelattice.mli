@@ -17,8 +17,9 @@
 
 type t
 
-val build : ?k:int -> Tl_tree.Data_tree.t -> t
-(** Mine the document into a [k]-lattice (default 4) and wrap it. *)
+val build : ?pool:Tl_util.Pool.t -> ?k:int -> Tl_tree.Data_tree.t -> t
+(** Mine the document into a [k]-lattice (default 4) and wrap it.  [pool]
+    parallelizes the mining step; the result is identical either way. *)
 
 val of_summary : Tl_tree.Data_tree.t -> Tl_lattice.Summary.t -> t
 (** Wrap a pre-built (possibly pruned or merged) summary.  The summary's
@@ -75,7 +76,7 @@ val prune : ?scheme:Estimator.scheme -> t -> delta:float -> t
 (** Replace the summary with its δ-pruned version (see {!Derivable});
     for lossless δ=0 pruning, pass the scheme you will estimate with. *)
 
-val add_document : t -> Tl_tree.Data_tree.t -> t
+val add_document : ?pool:Tl_util.Pool.t -> t -> Tl_tree.Data_tree.t -> t
 (** Incremental maintenance: fold another document's statistics into the
     summary.  The new document is re-labeled into this instance's label
     space by tag name (new tags are added); exact counting still runs

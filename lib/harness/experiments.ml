@@ -15,6 +15,7 @@ module Miner = Tl_mining.Miner
 module Table = Tl_util.Table
 module Timer = Tl_util.Timer
 module Xorshift = Tl_util.Xorshift
+module Pool = Tl_util.Pool
 
 type config = {
   seed : int;
@@ -66,11 +67,11 @@ type env = {
   workloads : Workload.t list;
 }
 
-let prepare config dataset =
+let prepare ?pool config dataset =
   let document = dataset.Dataset.document ~target:config.target ~seed:config.seed in
   let tree = Data_tree.of_element document in
   let ctx = Match_count.create_ctx tree in
-  let summary, lattice_ms = Timer.time_ms (fun () -> Summary.build ~k:config.k tree) in
+  let summary, lattice_ms = Timer.time_ms (fun () -> Summary.build ?pool ~k:config.k tree) in
   let sketch, sketch_ms =
     Timer.time_ms (fun () -> Sketch_build.build ~budget_bytes:config.sketch_budget ~seed:config.seed tree)
   in
@@ -89,12 +90,20 @@ type suite = {
   config : config;
   suite_envs : env list;
   eval_cache : (string, evaluation list) Hashtbl.t;
+  pool : Pool.t option;
 }
 
-let make_suite ?(datasets = Dataset.all) config =
-  { config; suite_envs = List.map (prepare config) datasets; eval_cache = Hashtbl.create 4 }
+let make_suite ?pool ?(datasets = Dataset.all) config =
+  {
+    config;
+    suite_envs = List.map (prepare ?pool config) datasets;
+    eval_cache = Hashtbl.create 4;
+    pool;
+  }
 
 let suite_config s = s.config
+
+let suite_pool s = s.pool
 
 let envs s = s.suite_envs
 
@@ -106,13 +115,25 @@ let figure_estimators env =
     ("treesketches", fun twig -> Sketch_estimate.estimate env.sketch twig);
   ]
 
-let evaluate_env env =
+(* Per-query estimation is read-only over the summary and synopsis (both
+   memoize per call, not per structure), so a workload fans out across the
+   pool's domains; [avg_ms] stays the per-query wall-clock share of the
+   whole batch either way. *)
+let eval_pairs ?pool wl ~estimate =
+  match pool with
+  | None -> Workload.pairs wl ~estimate
+  | Some pool ->
+    Pool.parallel_map pool
+      (fun q -> (q.Workload.truth, estimate q.Workload.twig))
+      wl.Workload.queries
+
+let evaluate_env ?pool env =
   List.map
     (fun wl ->
       let runs =
         List.map
           (fun (est_name, estimate) ->
-            let run_pairs, elapsed = Timer.time_ms (fun () -> Workload.pairs wl ~estimate) in
+            let run_pairs, elapsed = Timer.time_ms (fun () -> eval_pairs ?pool wl ~estimate) in
             let nq = max 1 (Array.length wl.Workload.queries) in
             { est_name; run_pairs; avg_ms = elapsed /. float_of_int nq })
           (figure_estimators env)
@@ -125,7 +146,7 @@ let evaluations suite env =
   match Hashtbl.find_opt suite.eval_cache key with
   | Some e -> e
   | None ->
-    let e = evaluate_env env in
+    let e = evaluate_env ?pool:suite.pool env in
     Hashtbl.replace suite.eval_cache key e;
     e
 
@@ -158,7 +179,7 @@ let table1 suite =
 let table2 suite =
   let depth = suite.config.table2_depth in
   let mined =
-    List.map (fun env -> (env, Miner.mine env.ctx ~max_size:depth)) suite.suite_envs
+    List.map (fun env -> (env, Miner.mine ?pool:suite.pool env.ctx ~max_size:depth)) suite.suite_envs
   in
   let rows =
     List.map
@@ -300,7 +321,7 @@ let fig10b suite =
     let config = suite.config in
     (* The OPT summary: one level deeper, 0-derivable patterns pruned, which
        the paper shows fits in the space of the plain k-lattice. *)
-    let deeper = Summary.build ~k:(config.k + 1) env.tree in
+    let deeper = Summary.build ?pool:suite.pool ~k:(config.k + 1) env.tree in
     (* Prune under the same scheme the figure estimates with, so delta = 0
        pruning is lossless (see Derivable). *)
     let opt = Derivable.prune ~scheme:Estimator.Recursive_voting deeper ~delta:0.0 in
@@ -321,7 +342,7 @@ let fig10b suite =
           Table.int_cell wl.Workload.size
           :: List.map
                (fun (_, estimate) ->
-                 let pairs = Workload.pairs wl ~estimate in
+                 let pairs = eval_pairs ?pool:suite.pool wl ~estimate in
                  Report.percent (Error_metric.average_percent ~sanity:wl.Workload.sanity pairs))
                estimators)
         workloads
@@ -374,7 +395,7 @@ let fig10d suite =
           :: List.map
                (fun (_, summary) ->
                  let pairs =
-                   Workload.pairs wl ~estimate:(fun twig ->
+                   eval_pairs ?pool:suite.pool wl ~estimate:(fun twig ->
                        Estimator.estimate summary Recursive_voting twig)
                  in
                  Report.percent (Error_metric.average_percent ~sanity:wl.Workload.sanity pairs))
@@ -554,7 +575,7 @@ let ablation_k suite =
     let rows =
       List.map
         (fun k ->
-          let summary, build_ms = Timer.time_ms (fun () -> Summary.build ~k env.tree) in
+          let summary, build_ms = Timer.time_ms (fun () -> Summary.build ?pool:suite.pool ~k env.tree) in
           let pairs =
             Workload.pairs wl ~estimate:(fun twig -> Estimator.estimate summary Recursive_voting twig)
           in
@@ -617,8 +638,12 @@ let incremental suite =
     let half = config.target / 2 in
     let tree_a = Dataset.tree d ~target:half ~seed:config.seed in
     let tree_b = Dataset.tree d ~target:half ~seed:(config.seed + 1) in
-    let tl, base_ms = Timer.time_ms (fun () -> Tl_core.Treelattice.build ~k:config.k tree_a) in
-    let merged, incr_ms = Timer.time_ms (fun () -> Tl_core.Treelattice.add_document tl tree_b) in
+    let tl, base_ms =
+      Timer.time_ms (fun () -> Tl_core.Treelattice.build ?pool:suite.pool ~k:config.k tree_a)
+    in
+    let merged, incr_ms =
+      Timer.time_ms (fun () -> Tl_core.Treelattice.add_document ?pool:suite.pool tl tree_b)
+    in
     (* Cross-check: merged counts must equal the sum of per-document exact
        counts for every stored pattern. *)
     let ctx_b = Match_count.create_ctx tree_b in

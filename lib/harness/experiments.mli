@@ -39,15 +39,22 @@ type env = {
 
 type suite
 
-val make_suite : ?datasets:Tl_datasets.Dataset.t list -> config -> suite
+val make_suite :
+  ?pool:Tl_util.Pool.t -> ?datasets:Tl_datasets.Dataset.t list -> config -> suite
 (** Prepare every dataset (default: all four).  This is the expensive
-    step; each experiment below is cheap against a prepared suite. *)
+    step; each experiment below is cheap against a prepared suite.
+    [pool] parallelizes summary construction here and the per-query
+    workload loops of every experiment run against the suite; all
+    reported numbers except wall-clock timings are identical with or
+    without it. *)
 
 val suite_config : suite -> config
 
+val suite_pool : suite -> Tl_util.Pool.t option
+
 val envs : suite -> env list
 
-val prepare : config -> Tl_datasets.Dataset.t -> env
+val prepare : ?pool:Tl_util.Pool.t -> config -> Tl_datasets.Dataset.t -> env
 (** Prepare a single dataset outside a suite. *)
 
 (** {2 Experiments} — each renders a self-contained text report. *)

@@ -20,10 +20,10 @@ let of_patterns ~k ~complete patterns =
 let of_mining (result : Tl_mining.Miner.result) =
   of_patterns ~k:result.max_size ~complete:true (Tl_mining.Miner.all result)
 
-let build ?(k = 4) tree =
+let build ?pool ?(k = 4) tree =
   if k < 2 then invalid_arg "Summary.build: k must be >= 2";
   let ctx = Tl_twig.Match_count.create_ctx tree in
-  of_mining (Tl_mining.Miner.mine ctx ~max_size:k)
+  of_mining (Tl_mining.Miner.mine ?pool ctx ~max_size:k)
 
 let k t = t.k
 

@@ -16,10 +16,12 @@
 
 type t
 
-val build : ?k:int -> Tl_tree.Data_tree.t -> t
+val build : ?pool:Tl_util.Pool.t -> ?k:int -> Tl_tree.Data_tree.t -> t
 (** Mine the document and assemble its [k]-lattice (default [k = 4], the
     paper's default).  Raises [Invalid_argument] if [k < 2] — level 2 is the
-    minimum the decomposition framework needs. *)
+    minimum the decomposition framework needs.  [pool] parallelizes the
+    mining step ({!Tl_mining.Miner.mine}); the summary is byte-identical
+    with or without it. *)
 
 val of_mining : Tl_mining.Miner.result -> t
 (** Wrap an existing mining result. *)

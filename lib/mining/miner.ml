@@ -14,7 +14,21 @@ let sub_twigs_occur prev_level candidate =
     (fun i -> Hashtbl.mem prev_level (Twig.encode (Twig.remove ix i)))
     (Twig.degree_one ix)
 
-let mine ctx ~max_size =
+(* Candidate counting is the miner's hot loop and each candidate is
+   independent, so a batch is counted across a domain pool when one is
+   given: every participant clones the shared context (private DP buffers
+   over the shared immutable tree) and results come back in input order,
+   so the final per-level sort sees exactly the sequential result set. *)
+let count_batch ?pool ctx candidates =
+  let count cctx candidate = (candidate, Match_count.selectivity cctx candidate) in
+  match pool with
+  | None -> Array.map (count ctx) candidates
+  | Some pool ->
+    Tl_util.Pool.parallel_chunked_map pool
+      ~init:(fun () -> Match_count.clone_ctx ctx)
+      count candidates
+
+let mine ?pool ctx ~max_size =
   if max_size < 1 then invalid_arg "Miner.mine: max_size must be >= 1";
   let tree = Match_count.tree ctx in
   let levels = Array.make (max_size + 1) [] in
@@ -31,7 +45,7 @@ let mine ctx ~max_size =
   List.iter
     (fun (lp, lc) -> extensions.(lp) <- lc :: extensions.(lp))
     (Data_tree.edge_label_pairs tree);
-  Array.iteri (fun lp kids -> extensions.(lp) <- List.sort compare kids) extensions;
+  Array.iteri (fun lp kids -> extensions.(lp) <- List.sort_uniq compare kids) extensions;
   (* Levels 2..max_size by rightmost-style extension of every node. *)
   let prev_table = Hashtbl.create 256 in
   let reset_prev level =
@@ -55,15 +69,19 @@ let mine ctx ~max_size =
                 extensions.(lp))
             ix.Twig.node_labels)
         levels.(s - 1);
-      let counted = ref [] in
-      Hashtbl.iter
-        (fun _ candidate ->
-          if s = 2 || sub_twigs_occur prev_table candidate then begin
-            let count = Match_count.selectivity ctx candidate in
-            if count > 0 then counted := (candidate, count) :: !counted
-          end)
-        candidates;
-      levels.(s) <- List.sort (fun (a, _) (b, _) -> Twig.compare a b) !counted;
+      let survivors =
+        Hashtbl.fold
+          (fun _ candidate acc ->
+            if s = 2 || sub_twigs_occur prev_table candidate then candidate :: acc else acc)
+          candidates []
+      in
+      let counted =
+        Array.fold_left
+          (fun acc (candidate, count) -> if count > 0 then (candidate, count) :: acc else acc)
+          []
+          (count_batch ?pool ctx (Array.of_list survivors))
+      in
+      levels.(s) <- List.sort (fun (a, _) (b, _) -> Twig.compare a b) counted;
       grow_level (s + 1)
     end
   in

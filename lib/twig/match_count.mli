@@ -21,6 +21,12 @@ type ctx
 
 val create_ctx : Tl_tree.Data_tree.t -> ctx
 
+val clone_ctx : ctx -> ctx
+(** A fresh context over the same (immutable, shareable) data tree but
+    with private DP/stamp buffers — one per domain when counting in
+    parallel: contexts are single-domain mutable state and must never be
+    shared across domains. *)
+
 val tree : ctx -> Tl_tree.Data_tree.t
 
 val selectivity : ctx -> Twig.t -> int

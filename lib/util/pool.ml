@@ -1,0 +1,152 @@
+(* Worker domains run a single loop: wait for a job, run it, repeat.  A
+   "job" here is one participant's share of a parallel map — a
+   work-stealing loop over the call's chunk cursor — so the queue sees
+   [domains - 1] entries per map, not one per element. *)
+
+type t = {
+  n_domains : int;
+  mutex : Mutex.t;
+  wake : Condition.t;
+  jobs : (unit -> unit) Queue.t;
+  mutable stopped : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+let domains t = t.n_domains
+
+let worker_loop pool =
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    while Queue.is_empty pool.jobs && not pool.stopped do
+      Condition.wait pool.wake pool.mutex
+    done;
+    match Queue.take_opt pool.jobs with
+    | None ->
+      (* Stopped and drained. *)
+      Mutex.unlock pool.mutex
+    | Some job ->
+      Mutex.unlock pool.mutex;
+      job ();
+      loop ()
+  in
+  loop ()
+
+let create ?domains () =
+  let n_domains =
+    max 1 (match domains with Some d -> d | None -> default_domains ())
+  in
+  let pool =
+    {
+      n_domains;
+      mutex = Mutex.create ();
+      wake = Condition.create ();
+      jobs = Queue.create ();
+      stopped = false;
+      workers = [];
+    }
+  in
+  pool.workers <- List.init (n_domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stopped <- true;
+  Condition.broadcast pool.wake;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.workers;
+  pool.workers <- []
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* One participant's share of a map: claim chunks from [cursor] until the
+   array is exhausted or another participant has recorded an error.  Local
+   state is created lazily so participants that never win a chunk never pay
+   for [init]. *)
+let participant_loop ~cursor ~error ~chunk ~n ~init ~f ~src ~dst =
+  try
+    let state = ref None in
+    let continue = ref true in
+    while !continue do
+      let start = Atomic.fetch_and_add cursor chunk in
+      if start >= n || Atomic.get error <> None then continue := false
+      else begin
+        let state =
+          match !state with
+          | Some s -> s
+          | None ->
+            let s = init () in
+            state := Some s;
+            s
+        in
+        let stop = min n (start + chunk) in
+        for i = start to stop - 1 do
+          dst.(i) <- Some (f state src.(i))
+        done
+      end
+    done
+  with exn ->
+    let bt = Printexc.get_raw_backtrace () in
+    (* Keep the first error; later ones lose the race and are dropped. *)
+    ignore (Atomic.compare_and_set error None (Some (exn, bt)))
+
+let sequential_map ~init f src =
+  let state = init () in
+  Array.map (f state) src
+
+let parallel_chunked_map pool ?chunk_size ~init f src =
+  let n = Array.length src in
+  if pool.stopped then invalid_arg "Pool: map on a shut-down pool";
+  if pool.n_domains <= 1 || n <= 1 then sequential_map ~init f src
+  else begin
+    let chunk =
+      match chunk_size with
+      | Some c -> max 1 c
+      | None -> max 1 (n / (pool.n_domains * 8))
+    in
+    let helpers =
+      (* No point waking more helpers than there are chunks beyond the
+         caller's first claim. *)
+      min (pool.n_domains - 1) (((n + chunk - 1) / chunk) - 1)
+    in
+    let dst = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let error = Atomic.make None in
+    let remaining = ref helpers in
+    let done_mutex = Mutex.create () in
+    let done_cond = Condition.create () in
+    let run () = participant_loop ~cursor ~error ~chunk ~n ~init ~f ~src ~dst in
+    let helper () =
+      run ();
+      Mutex.lock done_mutex;
+      decr remaining;
+      if !remaining = 0 then Condition.signal done_cond;
+      Mutex.unlock done_mutex
+    in
+    Mutex.lock pool.mutex;
+    for _ = 1 to helpers do
+      Queue.add helper pool.jobs
+    done;
+    Condition.broadcast pool.wake;
+    Mutex.unlock pool.mutex;
+    run ();
+    Mutex.lock done_mutex;
+    while !remaining > 0 do
+      Condition.wait done_cond done_mutex
+    done;
+    Mutex.unlock done_mutex;
+    match Atomic.get error with
+    | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None ->
+      Array.map
+        (function
+          | Some v -> v
+          | None -> assert false (* every slot was claimed by some chunk *))
+        dst
+  end
+
+let parallel_map pool f src =
+  parallel_chunked_map pool ~init:(fun () -> ()) (fun () x -> f x) src

@@ -1,0 +1,53 @@
+(** A fixed-size OCaml 5 domain pool for data-parallel maps.
+
+    The pool owns [domains - 1] worker domains (the caller is the remaining
+    participant); work is claimed chunk-by-chunk from a shared atomic
+    cursor, so uneven per-element costs balance automatically.  Results are
+    written into their input slot, which makes every map {e deterministic}:
+    output order never depends on scheduling, only on input order.  A pool
+    created with [~domains:1] spawns nothing and runs every map on the
+    caller's own sequential path, so results are bit-identical with or
+    without a pool.
+
+    Maps must be issued from the domain that created the pool, one at a
+    time; nesting a map inside a mapped function deadlocks.  Worker domains
+    idle cheaply between calls (blocked on a condition variable), so one
+    pool can and should be reused across a whole run. *)
+
+type t
+
+val default_domains : unit -> int
+(** [max 1 (Domain.recommended_domain_count () - 1)]: leave one core for
+    the rest of the process, never less than one participant. *)
+
+val create : ?domains:int -> unit -> t
+(** A pool with [domains] total participants (default
+    {!default_domains}; values [< 1] are clamped to 1).  [domains - 1]
+    worker domains are spawned immediately. *)
+
+val domains : t -> int
+(** Total participants, including the calling domain. *)
+
+val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map pool f arr] is [Array.map f arr] with elements evaluated
+    across the pool's domains.  [f] must not touch mutable state shared
+    with other elements.  The first exception raised by any [f] is
+    re-raised in the caller (with its backtrace) after all participants
+    stop claiming work. *)
+
+val parallel_chunked_map :
+  t -> ?chunk_size:int -> init:(unit -> 's) -> ('s -> 'a -> 'b) -> 'a array -> 'b array
+(** Like {!parallel_map}, but each participant first creates private local
+    state with [init] (at most once, lazily) and threads it through every
+    element it processes — the shape needed when the per-element function
+    wants a reusable scratch structure, e.g. a {!Tl_twig.Match_count}
+    context cloned per domain.  [chunk_size] overrides the number of
+    consecutive elements claimed per cursor fetch (default: scaled to
+    roughly eight chunks per participant). *)
+
+val shutdown : t -> unit
+(** Join all worker domains.  Idempotent; mapping on a shut-down pool
+    raises [Invalid_argument]. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [create], run, [shutdown] (also on exception). *)

@@ -162,6 +162,18 @@ let test_build_validation () =
 
 (* --- properties ------------------------------------------------------------------ *)
 
+(* Building across a domain pool must yield byte-identical summaries: same
+   serialized bytes, entry for entry. *)
+let prop_parallel_build_byte_identical =
+  Helpers.qcheck_case ~name:"build ?pool serializes byte-identically" ~count:30
+    (Helpers.tree_gen ~max_nodes:16)
+    (fun tree ->
+      Tl_util.Pool.with_pool ~domains:3 (fun pool ->
+          let names = Data_tree.label_names tree in
+          let sequential = Summary_io.save ~names (Summary.build ~k:3 tree) in
+          let parallel = Summary_io.save ~names (Summary.build ~pool ~k:3 tree) in
+          String.equal sequential parallel))
+
 let prop_io_roundtrip =
   Helpers.qcheck_case ~name:"save/load roundtrip on random trees" ~count:40
     (Helpers.tree_gen ~max_nodes:16)
@@ -184,6 +196,7 @@ let () =
           Alcotest.test_case "memory accounting" `Quick test_memory_accounting;
           Alcotest.test_case "restrict" `Quick test_restrict;
           Alcotest.test_case "build validation" `Quick test_build_validation;
+          prop_parallel_build_byte_identical;
         ] );
       ( "merge",
         [

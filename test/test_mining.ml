@@ -107,6 +107,23 @@ let prop_miner_equals_oracle =
       in
       mined = oracle)
 
+(* Counting across a domain pool must not change anything: same patterns,
+   same counts, same order, level by level. *)
+let prop_parallel_mine_equals_sequential =
+  Helpers.qcheck_case ~name:"mine ?pool = sequential mine level-by-level" ~count:40
+    (Helpers.tree_gen ~max_nodes:16)
+    (fun tree ->
+      Tl_util.Pool.with_pool ~domains:3 (fun pool ->
+          let sequential = mine tree 4 in
+          let parallel = Miner.mine ~pool (Match_count.create_ctx tree) ~max_size:4 in
+          List.for_all
+            (fun s ->
+              let encoded result =
+                List.map (fun (tw, c) -> (Twig.encode tw, c)) (Miner.level result s)
+              in
+              encoded sequential = encoded parallel)
+            [ 1; 2; 3; 4 ]))
+
 let prop_downward_closure_of_result =
   Helpers.qcheck_case ~name:"every mined pattern's sub-patterns are mined" ~count:40
     (Helpers.tree_gen ~max_nodes:16)
@@ -137,6 +154,7 @@ let () =
           Alcotest.test_case "invalid max size" `Quick test_invalid_max_size;
           Alcotest.test_case "deterministic" `Quick test_deterministic;
           prop_miner_equals_oracle;
+          prop_parallel_mine_equals_sequential;
           prop_downward_closure_of_result;
         ] );
     ]

@@ -1,0 +1,126 @@
+(* Tests for the domain pool: deterministic ordering, per-participant
+   state, exception propagation, and the single-domain sequential
+   fallback. *)
+
+module Pool = Tl_util.Pool
+
+let int_array = Alcotest.(array int)
+
+let squares n = Array.init n (fun i -> i * i)
+
+let test_ordering_matches_sequential () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      let input = Array.init 500 (fun i -> i) in
+      let expected = Array.map (fun i -> i * i) input in
+      (* Repeated runs: scheduling must never leak into result order. *)
+      for _ = 1 to 5 do
+        Alcotest.check int_array "parallel = sequential" expected
+          (Pool.parallel_map pool (fun i -> i * i) input)
+      done)
+
+let test_empty_and_singleton () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      Alcotest.check int_array "empty" [||] (Pool.parallel_map pool (fun i -> i * i) [||]);
+      Alcotest.check int_array "singleton" [| 49 |] (Pool.parallel_map pool (fun i -> i * i) [| 7 |]))
+
+let test_single_domain_fallback () =
+  let pool = Pool.create ~domains:1 () in
+  Alcotest.(check int) "clamped to 1" 1 (Pool.domains pool);
+  let inits = Atomic.make 0 in
+  let result =
+    Pool.parallel_chunked_map pool
+      ~init:(fun () ->
+        Atomic.incr inits;
+        ref 0)
+      (fun seen i ->
+        incr seen;
+        i * i)
+      (Array.init 100 (fun i -> i))
+  in
+  Alcotest.check int_array "sequential result" (squares 100) result;
+  Alcotest.(check int) "init called exactly once" 1 (Atomic.get inits);
+  Pool.shutdown pool
+
+let test_domains_clamped () =
+  Pool.with_pool ~domains:0 (fun pool -> Alcotest.(check int) "at least 1" 1 (Pool.domains pool))
+
+let test_chunked_per_participant_state () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let inits = Atomic.make 0 in
+      let result =
+        Pool.parallel_chunked_map pool ~chunk_size:8
+          ~init:(fun () ->
+            Atomic.incr inits;
+            Buffer.create 4)
+          (fun buf i ->
+            (* Exercise the private state: contents never cross domains. *)
+            Buffer.clear buf;
+            Buffer.add_string buf (string_of_int i);
+            int_of_string (Buffer.contents buf) * i)
+          (Array.init 200 (fun i -> i))
+      in
+      Alcotest.check int_array "chunked result in order" (squares 200) result;
+      let n = Atomic.get inits in
+      Alcotest.(check bool) "init per participant" true (n >= 1 && n <= Pool.domains pool))
+
+let test_exception_propagates () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      Alcotest.check_raises "raises the element's exception" (Failure "boom 137") (fun () ->
+          ignore
+            (Pool.parallel_map pool
+               (fun i -> if i = 137 then failwith "boom 137" else i)
+               (Array.init 300 (fun i -> i))));
+      (* The pool survives a failed map. *)
+      Alcotest.check int_array "usable after exception" (squares 50)
+        (Pool.parallel_map pool (fun i -> i * i) (Array.init 50 (fun i -> i))))
+
+let test_reuse_across_many_maps () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      for round = 1 to 20 do
+        let n = 1 + ((round * 37) mod 97) in
+        Alcotest.check int_array
+          (Printf.sprintf "round %d" round)
+          (squares n)
+          (Pool.parallel_map pool (fun i -> i * i) (Array.init n (fun i -> i)))
+      done)
+
+let test_shutdown_idempotent_and_fenced () =
+  let pool = Pool.create ~domains:2 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Alcotest.check_raises "map after shutdown" (Invalid_argument "Pool: map on a shut-down pool")
+    (fun () -> ignore (Pool.parallel_map pool Fun.id [| 1; 2; 3 |]))
+
+let test_with_pool_returns_value () =
+  Alcotest.(check int) "with_pool result" 42 (Pool.with_pool ~domains:2 (fun _ -> 42))
+
+let test_default_domains_positive () =
+  Alcotest.(check bool) "default >= 1" true (Pool.default_domains () >= 1)
+
+let prop_chunk_sizes_never_change_results =
+  Helpers.qcheck_case ~name:"any chunk size yields the sequential result" ~count:30
+    QCheck2.Gen.(pair (int_range 1 17) (int_range 0 120))
+    (fun (chunk_size, n) ->
+      Pool.with_pool ~domains:3 (fun pool ->
+          let input = Array.init n (fun i -> (i * 7919) mod 251) in
+          Pool.parallel_chunked_map pool ~chunk_size ~init:(fun () -> ()) (fun () x -> x + 1) input
+          = Array.map (fun x -> x + 1) input))
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "ordering matches sequential" `Quick test_ordering_matches_sequential;
+          Alcotest.test_case "empty and singleton" `Quick test_empty_and_singleton;
+          Alcotest.test_case "single-domain fallback" `Quick test_single_domain_fallback;
+          Alcotest.test_case "domains clamped" `Quick test_domains_clamped;
+          Alcotest.test_case "per-participant state" `Quick test_chunked_per_participant_state;
+          Alcotest.test_case "exception propagation" `Quick test_exception_propagates;
+          Alcotest.test_case "reuse across maps" `Quick test_reuse_across_many_maps;
+          Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent_and_fenced;
+          Alcotest.test_case "with_pool value" `Quick test_with_pool_returns_value;
+          Alcotest.test_case "default domains" `Quick test_default_domains_positive;
+          prop_chunk_sizes_never_change_results;
+        ] );
+    ]
