@@ -15,11 +15,14 @@
    two summaries are identical, and reports the speedup.
 
    Every measurement is also collected as a machine-readable row
-   (experiment id, dataset, metric, value, wall-clock ms) and written to
-   BENCH_summary.json — and to --json FILE when given — so the perf
-   trajectory is diffable across PRs.
+   (experiment id, dataset, metric, value, unit, wall-clock ms) and
+   written to BENCH_summary.json — and to --json FILE when given — so the
+   perf trajectory is diffable across PRs.  A Prometheus-style snapshot
+   of the library's internal metrics lands next to it in
+   BENCH_metrics.prom (or --metrics FILE).
 
-   Usage: main.exe [--quick] [--skip-micro] [--target N] [-j N] [--json FILE] *)
+   Usage: main.exe [--quick] [--skip-micro] [--target N] [-j N] [--json FILE]
+                   [--metrics FILE] [--trace FILE] [--log-level LEVEL] *)
 
 open Bechamel
 module Experiments = Tl_harness.Experiments
@@ -52,28 +55,47 @@ let int_arg name =
 
 (* --- machine-readable result rows ---------------------------------------- *)
 
-type row = { experiment : string; dataset : string; metric : string; value : float; ms : float }
+(* schema_version history: 1 = rows without units; 2 = top-level
+   schema_version + a unit string per row. *)
+let schema_version = 2
+
+type row = {
+  experiment : string;
+  dataset : string;
+  metric : string;
+  value : float;
+  unit : string;
+  ms : float;
+}
 
 let rows : row list ref = ref []
 
-let record ~experiment ~dataset ~metric ~value ~ms =
-  rows := { experiment; dataset; metric; value; ms } :: !rows
+let record ~experiment ~dataset ~metric ~value ~unit ~ms =
+  rows := { experiment; dataset; metric; value; unit; ms } :: !rows
 
-let row_json { experiment; dataset; metric; value; ms } =
+let row_json { experiment; dataset; metric; value; unit; ms } =
   Printf.sprintf
-    {|    {"experiment": %S, "dataset": %S, "metric": %S, "value": %.6f, "wall_clock_ms": %.3f}|}
-    experiment dataset metric value ms
+    {|    {"experiment": %S, "dataset": %S, "metric": %S, "value": %.6f, "unit": %S, "wall_clock_ms": %.3f}|}
+    experiment dataset metric value unit ms
 
 let write_json ~jobs ~target ~quick path =
   match open_out path with
-  | exception Sys_error msg -> Printf.eprintf "cannot write %s: %s\n%!" path msg
+  | exception Sys_error msg -> Tl_obs.Log.err (fun m -> m "cannot write %s: %s" path msg)
   | oc ->
   Printf.fprintf oc
-    "{\n  \"bench\": \"treelattice\",\n  \"jobs\": %d,\n  \"target\": %d,\n  \"quick\": %b,\n  \"rows\": [\n%s\n  ]\n}\n"
-    jobs target quick
+    "{\n  \"bench\": \"treelattice\",\n  \"schema_version\": %d,\n  \"jobs\": %d,\n  \"target\": %d,\n  \"quick\": %b,\n  \"rows\": [\n%s\n  ]\n}\n"
+    schema_version jobs target quick
     (String.concat ",\n" (List.rev_map row_json !rows));
   close_out oc;
   Printf.printf "wrote %s (%d rows)\n%!" path (List.length !rows)
+
+let write_metrics path =
+  match open_out path with
+  | exception Sys_error msg -> Tl_obs.Log.err (fun m -> m "cannot write %s: %s" path msg)
+  | oc ->
+    output_string oc (Tl_obs.Metrics.to_prometheus (Tl_obs.Metrics.snapshot ()));
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
 
 (* --- parallel summary construction --------------------------------------- *)
 
@@ -102,11 +124,11 @@ let run_parallel_build ~jobs ~k pool suite =
         seq_ms par_ms speedup identical;
       if not identical then failwith ("parallel summary differs from sequential on " ^ name);
       record ~experiment:"parallel-build" ~dataset:name ~metric:"seq_build_ms" ~value:seq_ms
-        ~ms:seq_ms;
+        ~unit:"ms" ~ms:seq_ms;
       record ~experiment:"parallel-build" ~dataset:name ~metric:"par_build_ms" ~value:par_ms
-        ~ms:par_ms;
+        ~unit:"ms" ~ms:par_ms;
       record ~experiment:"parallel-build" ~dataset:name ~metric:"speedup" ~value:speedup
-        ~ms:(seq_ms +. par_ms))
+        ~unit:"ratio" ~ms:(seq_ms +. par_ms))
     (Experiments.envs suite)
 
 (* --- phase 2: micro-benchmarks ------------------------------------------ *)
@@ -260,6 +282,16 @@ let run_micro () =
 
 let () =
   let quick = has_flag "--quick" in
+  (match arg_value "--log-level" with
+  | None -> Tl_obs.Log.setup Tl_obs.Log.Info
+  | Some s -> (
+    match Tl_obs.Log.level_of_string s with
+    | Ok level -> Tl_obs.Log.setup level
+    | Error msg ->
+      Printf.eprintf "--log-level: %s\n" msg;
+      exit 2));
+  let trace_file = arg_value "--trace" in
+  if Option.is_some trace_file then Tl_obs.Span.set_enabled true;
   let config = if quick then Experiments.quick_config else Experiments.default_config in
   let config =
     match int_arg "--target" with
@@ -274,24 +306,36 @@ let () =
     config.Experiments.target config.Experiments.k config.Experiments.queries_per_size jobs;
   let suite, ms = Timer.time_ms (fun () -> Experiments.make_suite ~pool config) in
   Printf.printf "prepared 4 datasets in %.1f s\n%!" (ms /. 1000.0);
-  record ~experiment:"prepare" ~dataset:"all" ~metric:"suite_prepare_ms" ~value:ms ~ms;
+  record ~experiment:"prepare" ~dataset:"all" ~metric:"suite_prepare_ms" ~value:ms ~unit:"ms" ~ms;
   List.iter
     (fun env ->
       record ~experiment:"table3" ~dataset:env.Experiments.dataset.Dataset.name
-        ~metric:"lattice_build_ms" ~value:env.Experiments.lattice_ms ~ms:env.Experiments.lattice_ms;
+        ~metric:"lattice_build_ms" ~value:env.Experiments.lattice_ms ~unit:"ms"
+        ~ms:env.Experiments.lattice_ms;
       record ~experiment:"table3" ~dataset:env.Experiments.dataset.Dataset.name
         ~metric:"summary_bytes"
         ~value:(float_of_int (Summary.memory_bytes env.Experiments.summary))
-        ~ms:0.0)
+        ~unit:"bytes" ~ms:0.0)
     (Experiments.envs suite);
   List.iter
     (fun (id, _, driver) ->
       let report, ms = Timer.time_ms (fun () -> driver suite) in
       print_string report;
       Printf.printf "  [%s completed in %.1f s]\n%!" id (ms /. 1000.0);
-      record ~experiment:id ~dataset:"all" ~metric:"report_ms" ~value:ms ~ms)
+      record ~experiment:id ~dataset:"all" ~metric:"report_ms" ~value:ms ~unit:"ms" ~ms)
     Experiments.all_experiments;
   run_parallel_build ~jobs ~k:config.Experiments.k pool suite;
   if not (has_flag "--skip-micro") then run_micro ();
   write_json ~jobs ~target:config.Experiments.target ~quick "BENCH_summary.json";
-  Option.iter (write_json ~jobs ~target:config.Experiments.target ~quick) (arg_value "--json")
+  Option.iter (write_json ~jobs ~target:config.Experiments.target ~quick) (arg_value "--json");
+  write_metrics (Option.value ~default:"BENCH_metrics.prom" (arg_value "--metrics"));
+  Option.iter
+    (fun path ->
+      match open_out path with
+      | exception Sys_error msg -> Tl_obs.Log.err (fun m -> m "cannot write %s: %s" path msg)
+      | oc ->
+        let spans = Tl_obs.Span.dump_jsonl oc in
+        close_out oc;
+        Printf.printf "wrote %s (%d spans)\n%!" path spans;
+        print_string (Tl_obs.Span.flame ()))
+    trace_file

@@ -6,12 +6,16 @@
      summarize  mine an XML file into a k-lattice summary file
      mine       print per-level pattern statistics of an XML file
      estimate   estimate (and optionally check) a twig query
+     explain    trace the full decomposition behind one estimate
      xpath      estimate an XPath query (child steps + predicates)
      match      enumerate actual matches of a twig query
      plan       naive vs estimate-guided join plans
      values     estimate a twig query with value predicates
      prune      delta-prune a summary file
-     exp        run reproduction experiments *)
+     exp        run reproduction experiments
+
+   Every working subcommand also takes the observability flags
+   --log-level quiet|info|debug, --metrics FILE, and --trace FILE. *)
 
 open Cmdliner
 module Dataset = Tl_datasets.Dataset
@@ -62,6 +66,59 @@ let scheme_arg =
     & info [ "scheme" ] ~docv:"SCHEME"
         ~doc:"Estimator: recursive, voting, fixed-size, or fixed-voting.")
 
+(* --- observability flags -------------------------------------------------- *)
+
+let log_level_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Tl_obs.Log.level_of_string s) in
+  Arg.conv (parse, fun fmt l -> Format.pp_print_string fmt (Tl_obs.Log.level_name l))
+
+let obs_term =
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Write a Prometheus-style metrics snapshot to $(docv) on exit.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Record spans and write them as JSON Lines to $(docv) on exit.")
+  in
+  let level =
+    Arg.(
+      value
+      & opt log_level_conv Tl_obs.Log.Quiet
+      & info [ "log-level" ] ~docv:"LEVEL" ~doc:"Log verbosity: quiet, info, or debug.")
+  in
+  let make metrics trace level = (metrics, trace, level) in
+  Term.(const make $ metrics $ trace $ level)
+
+(* Install the reporter and span recording before the command body, and
+   write the requested metrics/trace files afterwards — even when the
+   body exits through an exception. *)
+let with_obs (metrics_file, trace_file, level) f =
+  Tl_obs.Log.setup level;
+  if Option.is_some trace_file then Tl_obs.Span.set_enabled true;
+  let write_outputs () =
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Tl_obs.Metrics.to_prometheus (Tl_obs.Metrics.snapshot ()));
+        close_out oc)
+      metrics_file;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        let spans = Tl_obs.Span.dump_jsonl oc in
+        close_out oc;
+        Tl_obs.Log.info (fun m -> m "wrote %d span(s) to %s" spans path))
+      trace_file
+  in
+  Fun.protect ~finally:write_outputs f
+
 (* --- generate ------------------------------------------------------------ *)
 
 let dataset_conv =
@@ -100,7 +157,8 @@ let summarize_cmd =
     Arg.(
       required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Summary output path.")
   in
-  let run xml k jobs output =
+  let run obs xml k jobs output =
+    with_obs obs @@ fun () ->
     let tree = load_tree xml in
     let pool = pool_of_jobs jobs in
     let summary, ms = Tl_util.Timer.time_ms (fun () -> Summary.build ~pool ~k tree) in
@@ -111,7 +169,7 @@ let summarize_cmd =
   in
   Cmd.v
     (Cmd.info "summarize" ~doc:"Mine an XML document into a k-lattice summary file.")
-    Term.(const run $ xml_arg $ k_arg $ jobs_arg $ output)
+    Term.(const run $ obs_term $ xml_arg $ k_arg $ jobs_arg $ output)
 
 (* --- stats ------------------------------------------------------------------ *)
 
@@ -122,7 +180,8 @@ let stats_cmd =
   let sax =
     Arg.(value & flag & info [ "sax" ] ~doc:"Load via the streaming SAX path (no DOM).")
   in
-  let run xml histogram sax =
+  let run obs xml histogram sax =
+    with_obs obs @@ fun () ->
     let tree, ms =
       Tl_util.Timer.time_ms (fun () ->
           if sax then Tl_tree.Tree_load.of_file xml else load_tree xml)
@@ -139,7 +198,7 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Print structural statistics of an XML document.")
-    Term.(const run $ xml_arg $ histogram $ sax)
+    Term.(const run $ obs_term $ xml_arg $ histogram $ sax)
 
 (* --- mine ------------------------------------------------------------------ *)
 
@@ -149,7 +208,8 @@ let mine_cmd =
       value & opt int 0
       & info [ "top" ] ~docv:"N" ~doc:"Also print the N most frequent patterns per level.")
   in
-  let run xml k jobs top =
+  let run obs xml k jobs top =
+    with_obs obs @@ fun () ->
     let tree = load_tree xml in
     let ctx = Tl_twig.Match_count.create_ctx tree in
     let result =
@@ -173,7 +233,7 @@ let mine_cmd =
   in
   Cmd.v
     (Cmd.info "mine" ~doc:"Print occurring-pattern statistics of an XML document.")
-    Term.(const run $ xml_arg $ k_arg $ jobs_arg $ top)
+    Term.(const run $ obs_term $ xml_arg $ k_arg $ jobs_arg $ top)
 
 (* --- estimate --------------------------------------------------------------- *)
 
@@ -185,7 +245,8 @@ let estimate_cmd =
   let exact =
     Arg.(value & flag & info [ "exact" ] ~doc:"Also compute the exact count by full matching.")
   in
-  let run xml k scheme query exact =
+  let run obs xml k scheme query exact =
+    with_obs obs @@ fun () ->
     let tl = Treelattice.build ~k (load_tree xml) in
     match Treelattice.estimate_string ~scheme tl query with
     | Error msg ->
@@ -201,7 +262,53 @@ let estimate_cmd =
   in
   Cmd.v
     (Cmd.info "estimate" ~doc:"Estimate the selectivity of a twig query against an XML document.")
-    Term.(const run $ xml_arg $ k_arg $ scheme_arg $ query $ exact)
+    Term.(const run $ obs_term $ xml_arg $ k_arg $ scheme_arg $ query $ exact)
+
+(* --- explain --------------------------------------------------------------- *)
+
+let explain_cmd =
+  let query =
+    Arg.(
+      required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"Twig query, e.g. 'a(b,c(d))'.")
+  in
+  let dot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Also write the decomposition DAG as GraphViz DOT.")
+  in
+  let exact =
+    Arg.(value & flag & info [ "exact" ] ~doc:"Also compute the exact count by full matching.")
+  in
+  let run obs xml k scheme query dot exact =
+    with_obs obs @@ fun () ->
+    let tree = load_tree xml in
+    let summary = Summary.build ~k tree in
+    match
+      Tl_twig.Twig_parse.parse_twig ~intern:(fun tag -> Some (Data_tree.intern_label tree tag)) query
+    with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok twig ->
+      let names = Data_tree.label_name tree in
+      let trace = Tl_core.Explain.run summary scheme twig in
+      print_string (Tl_core.Explain.to_text ~names trace);
+      if exact then Printf.printf "exact = %d\n" (Tl_twig.Match_count.count tree twig);
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc (Tl_viz.Dot.explain ~names trace);
+          close_out oc;
+          Printf.printf "wrote %s\n" path)
+        dot
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Explain a selectivity estimate: print every sub-twig lookup, leaf-pair decomposition, \
+          and vote behind it.")
+    Term.(const run $ obs_term $ xml_arg $ k_arg $ scheme_arg $ query $ dot $ exact)
 
 (* --- xpath ------------------------------------------------------------------- *)
 
@@ -214,7 +321,8 @@ let xpath_cmd =
   let exact =
     Arg.(value & flag & info [ "exact" ] ~doc:"Also compute the exact count by full matching.")
   in
-  let run xml k scheme query exact =
+  let run obs xml k scheme query exact =
+    with_obs obs @@ fun () ->
     let tl = Treelattice.build ~k (load_tree xml) in
     match Treelattice.estimate_xpath ~scheme tl query with
     | Error msg ->
@@ -230,7 +338,7 @@ let xpath_cmd =
   in
   Cmd.v
     (Cmd.info "xpath" ~doc:"Estimate the selectivity of an XPath query (child steps + predicates).")
-    Term.(const run $ xml_arg $ k_arg $ scheme_arg $ query $ exact)
+    Term.(const run $ obs_term $ xml_arg $ k_arg $ scheme_arg $ query $ exact)
 
 (* --- match ------------------------------------------------------------------- *)
 
@@ -243,7 +351,8 @@ let match_cmd =
   let limit =
     Arg.(value & opt int 10 & info [ "limit" ] ~docv:"N" ~doc:"Maximum matches to print (default 10).")
   in
-  let run xml query limit =
+  let run obs xml query limit =
+    with_obs obs @@ fun () ->
     let tree = load_tree xml in
     let twig =
       (* Accept both syntaxes: XPath when it starts with '/', twig otherwise;
@@ -281,7 +390,7 @@ let match_cmd =
   in
   Cmd.v
     (Cmd.info "match" ~doc:"Enumerate actual matches of a twig query.")
-    Term.(const run $ xml_arg $ query $ limit)
+    Term.(const run $ obs_term $ xml_arg $ query $ limit)
 
 (* --- prune ------------------------------------------------------------------- *)
 
@@ -296,7 +405,8 @@ let prune_cmd =
   let output =
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path.")
   in
-  let run input delta output =
+  let run obs input delta output =
+    with_obs obs @@ fun () ->
     let summary, names = Summary_io.load_file input in
     let pruned = Tl_core.Derivable.prune summary ~delta in
     Summary_io.save_file ~names output pruned;
@@ -305,7 +415,7 @@ let prune_cmd =
   in
   Cmd.v
     (Cmd.info "prune" ~doc:"Remove delta-derivable patterns from a summary file.")
-    Term.(const run $ input $ delta $ output)
+    Term.(const run $ obs_term $ input $ delta $ output)
 
 (* --- plan ------------------------------------------------------------------------ *)
 
@@ -316,7 +426,8 @@ let plan_cmd =
   let execute =
     Arg.(value & flag & info [ "execute" ] ~doc:"Run both plans and report materialized tuples.")
   in
-  let run xml k query execute =
+  let run obs xml k query execute =
+    with_obs obs @@ fun () ->
     let tree = load_tree xml in
     let summary = Summary.build ~k tree in
     match
@@ -345,7 +456,7 @@ let plan_cmd =
   in
   Cmd.v
     (Cmd.info "plan" ~doc:"Show naive vs estimate-guided join plans for a twig query.")
-    Term.(const run $ xml_arg $ k_arg $ query $ execute)
+    Term.(const run $ obs_term $ xml_arg $ k_arg $ query $ execute)
 
 (* --- values ---------------------------------------------------------------------- *)
 
@@ -356,7 +467,8 @@ let values_cmd =
       & info [] ~docv:"QUERY" ~doc:"Value twig, e.g. 'book(genre=cs,title=\"ocaml\")'.")
   in
   let exact = Arg.(value & flag & info [ "exact" ] ~doc:"Also compute the exact count.") in
-  let run xml k query exact =
+  let run obs xml k query exact =
+    with_obs obs @@ fun () ->
     let vtree = Tl_values.Value_tree.of_xml (Tl_xml.Xml_dom.parse_file xml) in
     let est = Tl_values.Value_estimator.create ~k vtree in
     match Tl_values.Value_estimator.estimate_string est query with
@@ -373,7 +485,7 @@ let values_cmd =
   in
   Cmd.v
     (Cmd.info "values" ~doc:"Estimate a twig query with value predicates.")
-    Term.(const run $ xml_arg $ k_arg $ query $ exact)
+    Term.(const run $ obs_term $ xml_arg $ k_arg $ query $ exact)
 
 (* --- exp ---------------------------------------------------------------------- *)
 
@@ -387,7 +499,8 @@ let exp_cmd =
       value & opt (some int) None & info [ "target" ] ~docv:"N" ~doc:"Override dataset element count.")
   in
   let list_flag = Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids and exit.") in
-  let run ids quick target jobs list_flag =
+  let run obs ids quick target jobs list_flag =
+    with_obs obs @@ fun () ->
     if list_flag then
       List.iter (fun (id, title, _) -> Printf.printf "%-8s %s\n" id title) Experiments.all_experiments
     else begin
@@ -410,15 +523,15 @@ let exp_cmd =
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Run the paper-reproduction experiments.")
-    Term.(const run $ ids $ quick $ target $ jobs_arg $ list_flag)
+    Term.(const run $ obs_term $ ids $ quick $ target $ jobs_arg $ list_flag)
 
 let main =
   let doc = "TreeLattice: decomposition-based XML twig selectivity estimation" in
   Cmd.group
     (Cmd.info "treelattice" ~version:"1.0.0" ~doc)
     [
-      generate_cmd; summarize_cmd; stats_cmd; mine_cmd; estimate_cmd; xpath_cmd; match_cmd;
-      plan_cmd; values_cmd; prune_cmd; exp_cmd;
+      generate_cmd; summarize_cmd; stats_cmd; mine_cmd; estimate_cmd; explain_cmd; xpath_cmd;
+      match_cmd; plan_cmd; values_cmd; prune_cmd; exp_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,5 +1,6 @@
 module Twig = Tl_twig.Twig
 module Summary = Tl_lattice.Summary
+module Metrics = Tl_obs.Metrics
 
 type scheme =
   | Recursive
@@ -14,6 +15,50 @@ let scheme_name = function
   | Recursive_voting -> "recursive+voting"
   | Fixed_size -> "fixed-size"
   | Fixed_size_voting n -> Printf.sprintf "fixed-size+voting(%d)" n
+
+(* --- estimation probes -------------------------------------------------- *)
+
+(* A probe observes every step the estimator takes without changing a
+   single float: lookups (with their outcome), each evaluated
+   decomposition pair, the value a decomposed key settles on, and each
+   fixed-size cover step.  [Explain] reconstructs the full decomposition
+   DAG from these events; estimation with [probe = None] pays only a
+   [match] per event site. *)
+
+type lookup_result =
+  | Found_extra of float
+  | Found_summary of int
+  | Assumed_zero
+  | Decomposing
+
+type probe = {
+  on_lookup : string -> lookup_result -> unit;
+  on_pair :
+    parent:string ->
+    t1:string ->
+    t2:string ->
+    cap:string ->
+    twin:bool ->
+    e1:float ->
+    e2:float ->
+    ec:float ->
+    value:float ->
+    unit;
+  on_value : string -> float -> unit;
+  on_cover_step :
+    block:string -> overlap:string option -> twins:int -> num:float -> den:float -> acc:float -> unit;
+}
+
+let lookup_metric = function
+  | Found_extra _ -> Metrics.incr "estimator.extra_hits"
+  | Found_summary _ -> Metrics.incr "estimator.summary_hits"
+  | Assumed_zero -> Metrics.incr "estimator.true_zeros"
+  | Decomposing -> Metrics.incr "estimator.decompositions"
+
+let probe_lookup probe key result =
+  Metrics.incr "estimator.lookups";
+  lookup_metric result;
+  match probe with None -> () | Some p -> p.on_lookup key result
 
 (* --- recursive decomposition (Fig. 4) ---------------------------------- *)
 
@@ -35,7 +80,7 @@ let nodes_except (ix : Twig.indexed) dropped =
 (* [extra] is an auxiliary exact-count source consulted before the summary
    (the workload-adaptive cache of {!Adaptive}); [fun _ -> None] for the
    plain estimators. *)
-let recursive_estimate ?(extra = fun _ -> None) ~voting summary twig =
+let recursive_estimate ?(extra = fun _ -> None) ?probe ~voting summary twig =
   let memo : (string, float) Hashtbl.t = Hashtbl.create 64 in
   let complete = Summary.is_complete summary in
   let k = Summary.k summary in
@@ -49,17 +94,25 @@ let recursive_estimate ?(extra = fun _ -> None) ~voting summary twig =
       v
   and compute twig key =
     match (extra key : float option) with
-    | Some known -> known
+    | Some known ->
+      probe_lookup probe key (Found_extra known);
+      known
     | None ->
     match Summary.find_encoded summary key with
-    | Some count -> float_of_int count
+    | Some count ->
+      probe_lookup probe key (Found_summary count);
+      float_of_int count
     | None ->
       let n = Twig.size twig in
       (* Levels 1 and 2 are complete in every summary (pruning keeps them),
          so a miss there is a true zero; likewise any level <= k of a
          complete summary. *)
-      if n <= 2 || (complete && n <= k) then 0.0
+      if n <= 2 || (complete && n <= k) then begin
+        probe_lookup probe key Assumed_zero;
+        0.0
+      end
       else begin
+        probe_lookup probe key Decomposing;
         let ix = Twig.index twig in
         let removable = Twig.degree_one ix in
         let pairs = unordered_pairs removable in
@@ -71,31 +124,38 @@ let recursive_estimate ?(extra = fun _ -> None) ~voting summary twig =
         let value_of (u, u') =
           let t1 = Twig.induced ix (nodes_except ix [ u ]) in
           let t2 = Twig.induced ix (nodes_except ix [ u' ]) in
+          (* Theorem 1 assumes the two grown edges are distinct.  When
+             u and u' are same-labeled siblings the two edges are the
+             SAME edge type, and matches must place them injectively:
+             a T-intersection match with i candidate children yields
+             i*(i-1) ordered pairs, not i^2, so the expectation gets
+             an injectivity correction of -E[i] per match:
+             sigma(T) ~ sigma(T1)^2/sigma(Tcap) - sigma(T1). *)
+          let twin_edges =
+            ix.parents.(u) >= 0
+            && ix.parents.(u) = ix.parents.(u')
+            && ix.node_labels.(u) = ix.node_labels.(u')
+          in
+          let finish ~e1 ~e2 ~ec value =
+            (match probe with
+            | None -> ()
+            | Some p ->
+              let cap = Twig.induced ix (nodes_except ix [ u; u' ]) in
+              p.on_pair ~parent:key ~t1:(Twig.encode t1) ~t2:(Twig.encode t2)
+                ~cap:(Twig.encode cap) ~twin:twin_edges ~e1 ~e2 ~ec ~value);
+            value
+          in
           let e1 = est t1 in
-          if e1 = 0.0 then 0.0
+          if e1 = 0.0 then finish ~e1 ~e2:Float.nan ~ec:Float.nan 0.0
           else begin
             let e2 = est t2 in
-            if e2 = 0.0 then 0.0
+            if e2 = 0.0 then finish ~e1 ~e2 ~ec:Float.nan 0.0
             else begin
               let cap = Twig.induced ix (nodes_except ix [ u; u' ]) in
               let ec = est cap in
-              if ec <= 0.0 then 0.0
-              else begin
-                (* Theorem 1 assumes the two grown edges are distinct.  When
-                   u and u' are same-labeled siblings the two edges are the
-                   SAME edge type, and matches must place them injectively:
-                   a T-intersection match with i candidate children yields
-                   i*(i-1) ordered pairs, not i^2, so the expectation gets
-                   an injectivity correction of -E[i] per match:
-                   sigma(T) ~ sigma(T1)^2/sigma(Tcap) - sigma(T1). *)
-                let twin_edges =
-                  ix.parents.(u) >= 0
-                  && ix.parents.(u) = ix.parents.(u')
-                  && ix.node_labels.(u) = ix.node_labels.(u')
-                in
-                if twin_edges then Float.max 0.0 ((e1 *. e2 /. ec) -. e1)
-                else e1 *. e2 /. ec
-              end
+              if ec <= 0.0 then finish ~e1 ~e2 ~ec 0.0
+              else if twin_edges then finish ~e1 ~e2 ~ec (Float.max 0.0 ((e1 *. e2 /. ec) -. e1))
+              else finish ~e1 ~e2 ~ec (e1 *. e2 /. ec)
             end
           end
         in
@@ -103,7 +163,9 @@ let recursive_estimate ?(extra = fun _ -> None) ~voting summary twig =
         | [] -> 0.0 (* unreachable: any twig of size >= 2 has two degree-1 nodes *)
         | _ ->
           let total = List.fold_left (fun acc pair -> acc +. value_of pair) 0.0 pairs in
-          total /. float_of_int (List.length pairs)
+          let v = total /. float_of_int (List.length pairs) in
+          (match probe with None -> () | Some p -> p.on_value key v);
+          v
       end
   in
   est twig
@@ -176,54 +238,85 @@ let cover twig ~k =
 
 (* Stored count of a small pattern, falling back to recursive decomposition
    when a pruned summary no longer holds it (keeps Lemma 5). *)
-let small_estimate ?(extra = fun _ -> None) summary twig =
-  match extra (Twig.encode twig) with
-  | Some known -> known
+let small_estimate ?(extra = fun _ -> None) ?probe summary twig =
+  let key = Twig.encode twig in
+  match extra key with
+  | Some known ->
+    probe_lookup probe key (Found_extra known);
+    known
   | None -> (
-    match Summary.find summary twig with
-    | Some c -> float_of_int c
+    match Summary.find_encoded summary key with
+    | Some c ->
+      probe_lookup probe key (Found_summary c);
+      float_of_int c
     | None ->
-      if Summary.is_complete summary then 0.0
-      else recursive_estimate ~extra ~voting:false summary twig)
+      if Summary.is_complete summary then begin
+        probe_lookup probe key Assumed_zero;
+        0.0
+      end
+      else recursive_estimate ~extra ?probe ~voting:false summary twig)
 
-let estimate_of_cover ?extra summary blocks =
+let estimate_of_cover ?extra ?probe summary blocks =
+  let step ~block ~overlap ~twins ~num ~den ~acc =
+    match probe with
+    | None -> ()
+    | Some p ->
+      p.on_cover_step ~block:(Twig.encode block)
+        ~overlap:(Option.map Twig.encode overlap)
+        ~twins ~num ~den ~acc
+  in
   let rec go acc = function
     | [] -> acc
     | (block, overlap, twins) :: rest ->
       if acc = 0.0 then 0.0
       else begin
-        let num = small_estimate ?extra summary block in
-        if num = 0.0 then 0.0
+        let num = small_estimate ?extra ?probe summary block in
+        if num = 0.0 then begin
+          step ~block ~overlap ~twins ~num ~den:Float.nan ~acc:0.0;
+          0.0
+        end
         else begin
           match overlap with
-          | None -> go (acc *. num) rest
+          | None ->
+            step ~block ~overlap ~twins ~num ~den:Float.nan ~acc:(acc *. num);
+            go (acc *. num) rest
           | Some i ->
-            let den = small_estimate ?extra summary i in
-            if den <= 0.0 then 0.0
+            let den = small_estimate ?extra ?probe summary i in
+            if den <= 0.0 then begin
+              step ~block ~overlap ~twins ~num ~den ~acc:0.0;
+              0.0
+            end
             else begin
               let multiplier = (num /. den) -. float_of_int twins in
-              if multiplier <= 0.0 then 0.0 else go (acc *. multiplier) rest
+              if multiplier <= 0.0 then begin
+                step ~block ~overlap ~twins ~num ~den ~acc:0.0;
+                0.0
+              end
+              else begin
+                step ~block ~overlap ~twins ~num ~den ~acc:(acc *. multiplier);
+                go (acc *. multiplier) rest
+              end
             end
         end
       end
   in
   go 1.0 blocks
 
-let fixed_size_estimate ?extra ?samples summary twig =
+let fixed_size_estimate ?extra ?probe ?samples summary twig =
   let k = Summary.k summary in
   let twig = Twig.canonicalize twig in
-  if Twig.size twig <= k then small_estimate ?extra summary twig
+  if Twig.size twig <= k then small_estimate ?extra ?probe summary twig
   else begin
     let ix = Twig.index twig in
     match samples with
-    | None -> estimate_of_cover ?extra summary (cover_with ~choose:List.hd ix ~k)
+    | None -> estimate_of_cover ?extra ?probe summary (cover_with ~choose:List.hd ix ~k)
     | Some count ->
       let count = max 1 count in
       (* Deterministic seed per query so estimates are reproducible. *)
       let rng = Tl_util.Xorshift.create (Twig.hash twig) in
       let one () =
         let choose candidates = List.nth candidates (Tl_util.Xorshift.int rng (List.length candidates)) in
-        estimate_of_cover ?extra summary (cover_with ~choose ix ~k)
+        estimate_of_cover ?extra ?probe summary (cover_with ~choose ix ~k)
       in
       let total = ref 0.0 in
       for _ = 1 to count do
@@ -281,10 +374,10 @@ let estimate_interval summary twig =
       high = Float.max best (Tl_util.Stats.maximum votes);
     }
 
-let estimate ?extra summary scheme twig =
+let estimate ?extra ?probe summary scheme twig =
   let twig = Twig.canonicalize twig in
   match scheme with
-  | Recursive -> recursive_estimate ?extra ~voting:false summary twig
-  | Recursive_voting -> recursive_estimate ?extra ~voting:true summary twig
-  | Fixed_size -> fixed_size_estimate ?extra summary twig
-  | Fixed_size_voting samples -> fixed_size_estimate ?extra ~samples summary twig
+  | Recursive -> recursive_estimate ?extra ?probe ~voting:false summary twig
+  | Recursive_voting -> recursive_estimate ?extra ?probe ~voting:true summary twig
+  | Fixed_size -> fixed_size_estimate ?extra ?probe summary twig
+  | Fixed_size_voting samples -> fixed_size_estimate ?extra ?probe ~samples summary twig

@@ -35,8 +35,53 @@ val all_schemes : scheme list
 
 val scheme_name : scheme -> string
 
+(** {2 Estimation probes}
+
+    A probe observes every step an estimation takes — without perturbing
+    any number.  All keys are canonical twig encodings
+    ({!Tl_twig.Twig.encode}); {!Explain} rebuilds the decomposition DAG
+    from these events for the [treelattice explain] subcommand. *)
+
+(** Outcome of one sub-twig lookup. *)
+type lookup_result =
+  | Found_extra of float  (** served by the [?extra] source (e.g. the adaptive cache) *)
+  | Found_summary of int  (** stored in the lattice summary *)
+  | Assumed_zero
+      (** missing at a level the summary is known complete for — a true zero *)
+  | Decomposing  (** not resident: about to decompose *)
+
+type probe = {
+  on_lookup : string -> lookup_result -> unit;
+  on_pair :
+    parent:string ->
+    t1:string ->
+    t2:string ->
+    cap:string ->
+    twin:bool ->
+    e1:float ->
+    e2:float ->
+    ec:float ->
+    value:float ->
+    unit;
+      (** One evaluated leaf-pair of a recursive decomposition:
+          [value ~ e1 * e2 / ec] (with the twin-edge correction when
+          [twin]).  Short-circuited sub-estimates are reported as [nan]. *)
+  on_value : string -> float -> unit;
+      (** The averaged value a [Decomposing] key settled on. *)
+  on_cover_step :
+    block:string -> overlap:string option -> twins:int -> num:float -> den:float -> acc:float -> unit;
+      (** One fixed-size cover step: running product [acc] after
+          multiplying by [num/den - twins] ([den] is [nan] for the first
+          block; [acc = 0] marks a short-circuit). *)
+}
+
 val estimate :
-  ?extra:(string -> float option) -> Tl_lattice.Summary.t -> scheme -> Tl_twig.Twig.t -> float
+  ?extra:(string -> float option) ->
+  ?probe:probe ->
+  Tl_lattice.Summary.t ->
+  scheme ->
+  Tl_twig.Twig.t ->
+  float
 (** Estimated selectivity (>= 0, fractional in general).  Exact lookups are
     returned as-is; a twig whose label set cannot occur estimates to 0.
 

@@ -1,0 +1,201 @@
+module Twig = Tl_twig.Twig
+module Summary = Tl_lattice.Summary
+
+type source = Extra_cache | Summary_hit | True_zero | Decomposed | Not_evaluated
+
+type pair = {
+  t1 : string;
+  t2 : string;
+  cap : string;
+  twin : bool;
+  e1 : float;
+  e2 : float;
+  ec : float;
+  value : float;
+}
+
+type cover_step = {
+  block : string;
+  overlap : string option;
+  twins : int;
+  num : float;
+  den : float;
+  running : float;
+}
+
+type node = {
+  twig : Twig.t;
+  size : int;
+  mutable source : source;
+  mutable value : float;
+  mutable pairs : pair list;
+}
+
+type t = {
+  scheme : Estimator.scheme;
+  root_key : string;
+  estimate : float;
+  nodes : (string, node) Hashtbl.t;
+  order : string list;
+  cover : cover_step list;
+  votes : float list;
+  summary_hits : int;
+  extra_hits : int;
+  true_zeros : int;
+  decompositions : int;
+}
+
+let node t key = Hashtbl.find_opt t.nodes key
+
+let run ?extra summary scheme twig =
+  let twig = Twig.canonicalize twig in
+  let nodes : (string, node) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  let cover = ref [] in
+  let summary_hits = ref 0 in
+  let extra_hits = ref 0 in
+  let true_zeros = ref 0 in
+  let decompositions = ref 0 in
+  let get key =
+    match Hashtbl.find_opt nodes key with
+    | Some n -> n
+    | None ->
+      let tw = Twig.decode key in
+      let n =
+        { twig = tw; size = Twig.size tw; source = Not_evaluated; value = Float.nan; pairs = [] }
+      in
+      Hashtbl.replace nodes key n;
+      order := key :: !order;
+      n
+  in
+  let probe =
+    {
+      Estimator.on_lookup =
+        (fun key result ->
+          let n = get key in
+          match result with
+          | Estimator.Found_extra v ->
+            incr extra_hits;
+            n.source <- Extra_cache;
+            n.value <- v
+          | Found_summary c ->
+            incr summary_hits;
+            n.source <- Summary_hit;
+            n.value <- float_of_int c
+          | Assumed_zero ->
+            incr true_zeros;
+            n.source <- True_zero;
+            n.value <- 0.0
+          | Decomposing ->
+            incr decompositions;
+            n.source <- Decomposed);
+      on_pair =
+        (fun ~parent ~t1 ~t2 ~cap ~twin ~e1 ~e2 ~ec ~value ->
+          ignore (get t1);
+          ignore (get t2);
+          ignore (get cap);
+          let n = get parent in
+          n.pairs <- { t1; t2; cap; twin; e1; e2; ec; value } :: n.pairs);
+      on_value = (fun key v -> (get key).value <- v);
+      on_cover_step =
+        (fun ~block ~overlap ~twins ~num ~den ~acc ->
+          ignore (get block);
+          Option.iter (fun o -> ignore (get o)) overlap;
+          cover := { block; overlap; twins; num; den; running = acc } :: !cover);
+    }
+  in
+  let estimate = Estimator.estimate ?extra ~probe summary scheme twig in
+  let votes = Estimator.first_level_votes summary twig in
+  Hashtbl.iter (fun _ n -> n.pairs <- List.rev n.pairs) nodes;
+  {
+    scheme;
+    root_key = Twig.encode twig;
+    estimate;
+    nodes;
+    order = List.rev !order;
+    cover = List.rev !cover;
+    votes;
+    summary_hits = !summary_hits;
+    extra_hits = !extra_hits;
+    true_zeros = !true_zeros;
+    decompositions = !decompositions;
+  }
+
+(* --- text rendering ------------------------------------------------------ *)
+
+let source_tag = function
+  | Extra_cache -> "extra-cache"
+  | Summary_hit -> "summary"
+  | True_zero -> "true-zero"
+  | Decomposed -> "decomposed"
+  | Not_evaluated -> "not-evaluated"
+
+let fnum v = if Float.is_nan v then "-" else Printf.sprintf "%.2f" v
+
+let pp_key ~names t key =
+  match node t key with
+  | Some n -> Twig.pp ~names n.twig
+  | None -> key
+
+let to_text ~names t =
+  let buf = Buffer.create 1024 in
+  let line depth fmt =
+    Buffer.add_string buf (String.make (2 * depth) ' ');
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  let expanded = Hashtbl.create 16 in
+  let rec render depth key role =
+    match node t key with
+    | None -> line depth "%s %s = ? [not evaluated]" role key
+    | Some n ->
+      let head = Printf.sprintf "%s %s = %s [%s]" role (Twig.pp ~names n.twig) (fnum n.value) (source_tag n.source) in
+      if n.source <> Decomposed then line depth "%s" head
+      else if Hashtbl.mem expanded key then line depth "%s (decomposition shown above)" head
+      else begin
+        Hashtbl.replace expanded key ();
+        line depth "%s via %d pair(s):" head (List.length n.pairs);
+        List.iteri
+          (fun i (p : pair) ->
+            let rule =
+              if p.twin then "s1*s2/s_cap - s1 (twin edges)" else "s1*s2/s_cap"
+            in
+            line (depth + 1) "pair %d: %s = %s  [e1=%s e2=%s e_cap=%s]" (i + 1) rule (fnum p.value)
+              (fnum p.e1) (fnum p.e2) (fnum p.ec);
+            render (depth + 2) p.t1 "s1 ";
+            render (depth + 2) p.t2 "s2 ";
+            render (depth + 2) p.cap "s_cap")
+          n.pairs
+      end
+  in
+  line 0 "estimate[%s] = %s for %s" (Estimator.scheme_name t.scheme) (fnum t.estimate)
+    (pp_key ~names t t.root_key);
+  (match t.cover with
+  | [] -> render 0 t.root_key "query"
+  | steps ->
+    line 0 "fixed-size cover (%d step(s)):" (List.length steps);
+    List.iteri
+      (fun i (s : cover_step) ->
+        (match s.overlap with
+        | None ->
+          line 1 "step %d: first block, running = %s" (i + 1) (fnum s.running)
+        | Some _ ->
+          line 1 "step %d: num/den - twins = %s/%s - %d, running = %s" (i + 1) (fnum s.num)
+            (fnum s.den) s.twins (fnum s.running));
+        render 2 s.block "block  ";
+        Option.iter (fun o -> render 2 o "overlap") s.overlap)
+      steps);
+  (match t.votes with
+  | [] | [ _ ] -> ()
+  | votes ->
+    let arr = Array.of_list votes in
+    line 0 "first-level votes: %d pair(s), min = %s, mean = %s, max = %s" (Array.length arr)
+      (fnum (Tl_util.Stats.minimum arr))
+      (fnum (Tl_util.Stats.mean arr))
+      (fnum (Tl_util.Stats.maximum arr)));
+  line 0 "lookups: %d summary hit(s), %d extra hit(s), %d true zero(s), %d decomposition(s); %d distinct sub-twig(s)"
+    t.summary_hits t.extra_hits t.true_zeros t.decompositions (Hashtbl.length t.nodes);
+  Buffer.contents buf

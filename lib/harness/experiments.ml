@@ -68,6 +68,8 @@ type env = {
 }
 
 let prepare ?pool config dataset =
+  Tl_obs.Span.with_ ("exp.prepare:" ^ dataset.Dataset.name) @@ fun () ->
+  Tl_obs.Log.info (fun m -> m "preparing dataset %s" dataset.Dataset.name);
   let document = dataset.Dataset.document ~target:config.target ~seed:config.seed in
   let tree = Data_tree.of_element document in
   let ctx = Match_count.create_ctx tree in
@@ -120,12 +122,16 @@ let figure_estimators env =
    pool's domains; [avg_ms] stays the per-query wall-clock share of the
    whole batch either way. *)
 let eval_pairs ?pool wl ~estimate =
+  (* The counter is bumped inside the mapped function so parallel runs
+     exercise every pool domain's metric shard. *)
+  let eval q =
+    Tl_obs.Metrics.incr "workload.queries_evaluated";
+    (q.Workload.truth, estimate q.Workload.twig)
+  in
+  Tl_obs.Span.with_ "exp.eval_pairs" @@ fun () ->
   match pool with
-  | None -> Workload.pairs wl ~estimate
-  | Some pool ->
-    Pool.parallel_map pool
-      (fun q -> (q.Workload.truth, estimate q.Workload.twig))
-      wl.Workload.queries
+  | None -> Array.map eval wl.Workload.queries
+  | Some pool -> Pool.parallel_map pool eval wl.Workload.queries
 
 let evaluate_env ?pool env =
   List.map
@@ -878,8 +884,15 @@ let all_experiments =
     ("joinopt", "Estimate-guided join ordering", joinopt);
   ]
 
+let run_one id driver suite =
+  Tl_obs.Span.with_ ("exp.run:" ^ id) @@ fun () ->
+  Tl_obs.Metrics.incr "experiments.runs";
+  Tl_obs.Log.info (fun m -> m "running experiment %s" id);
+  driver suite
+
 let run suite id =
-  Option.map (fun (_, _, driver) -> driver suite)
+  Option.map (fun (eid, _, driver) -> run_one eid driver suite)
     (List.find_opt (fun (eid, _, _) -> String.equal eid id) all_experiments)
 
-let run_all suite = String.concat "" (List.map (fun (_, _, driver) -> driver suite) all_experiments)
+let run_all suite =
+  String.concat "" (List.map (fun (eid, _, driver) -> run_one eid driver suite) all_experiments)

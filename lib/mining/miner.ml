@@ -30,6 +30,7 @@ let count_batch ?pool ctx candidates =
 
 let mine ?pool ctx ~max_size =
   if max_size < 1 then invalid_arg "Miner.mine: max_size must be >= 1";
+  Tl_obs.Span.with_ "miner.mine" @@ fun () ->
   let tree = Match_count.tree ctx in
   let levels = Array.make (max_size + 1) [] in
   (* Level 1: one pattern per occurring label. *)
@@ -54,39 +55,48 @@ let mine ?pool ctx ~max_size =
   in
   let rec grow_level s =
     if s <= max_size then begin
-      reset_prev levels.(s - 1);
-      let candidates = Hashtbl.create 256 in
-      List.iter
-        (fun (pattern, _) ->
-          let ix = Twig.index pattern in
-          Array.iteri
-            (fun i lp ->
-              List.iter
-                (fun lc ->
-                  let candidate = Twig.grow ix i lc in
-                  let key = Twig.encode candidate in
-                  if not (Hashtbl.mem candidates key) then Hashtbl.replace candidates key candidate)
-                extensions.(lp))
-            ix.Twig.node_labels)
-        levels.(s - 1);
-      let survivors =
-        Hashtbl.fold
-          (fun _ candidate acc ->
-            if s = 2 || sub_twigs_occur prev_table candidate then candidate :: acc else acc)
-          candidates []
-      in
-      let counted =
-        Array.fold_left
-          (fun acc (candidate, count) -> if count > 0 then (candidate, count) :: acc else acc)
-          []
-          (count_batch ?pool ctx (Array.of_list survivors))
-      in
-      levels.(s) <- List.sort (fun (a, _) (b, _) -> Twig.compare a b) counted;
+      Tl_obs.Span.with_ "miner.level" (fun () ->
+          reset_prev levels.(s - 1);
+          let candidates = Hashtbl.create 256 in
+          List.iter
+            (fun (pattern, _) ->
+              let ix = Twig.index pattern in
+              Array.iteri
+                (fun i lp ->
+                  List.iter
+                    (fun lc ->
+                      let candidate = Twig.grow ix i lc in
+                      let key = Twig.encode candidate in
+                      if not (Hashtbl.mem candidates key) then Hashtbl.replace candidates key candidate)
+                    extensions.(lp))
+                ix.Twig.node_labels)
+            levels.(s - 1);
+          let survivors =
+            Hashtbl.fold
+              (fun _ candidate acc ->
+                if s = 2 || sub_twigs_occur prev_table candidate then candidate :: acc else acc)
+              candidates []
+          in
+          Tl_obs.Metrics.add "miner.candidates_generated" (Hashtbl.length candidates);
+          Tl_obs.Metrics.add "miner.candidates_counted" (List.length survivors);
+          let counted =
+            Array.fold_left
+              (fun acc (candidate, count) -> if count > 0 then (candidate, count) :: acc else acc)
+              []
+              (count_batch ?pool ctx (Array.of_list survivors))
+          in
+          Tl_obs.Metrics.add "miner.patterns_kept" (List.length counted);
+          Tl_obs.Metrics.observe "miner.level_patterns" (List.length counted);
+          levels.(s) <- List.sort (fun (a, _) (b, _) -> Twig.compare a b) counted);
       grow_level (s + 1)
     end
   in
   grow_level 2;
   levels.(1) <- List.sort (fun (a, _) (b, _) -> Twig.compare a b) levels.(1);
+  Tl_obs.Log.debug (fun m ->
+      m "mined %d pattern(s) across %d level(s)"
+        (Array.fold_left (fun acc l -> acc + List.length l) 0 levels)
+        max_size);
   { max_size; levels }
 
 let all r = List.concat (Array.to_list r.levels)

@@ -1,0 +1,7 @@
+let now_ns = Tl_util.Mono_clock.now_ns
+
+let now_s = Tl_util.Mono_clock.now_s
+
+let ns_to_ms = Tl_util.Mono_clock.ns_to_ms
+
+let elapsed_ns = Tl_util.Mono_clock.elapsed_ns

@@ -1,0 +1,16 @@
+(** The observability clock: monotonic nanoseconds.
+
+    This is the single time source for spans, metrics timestamps, and
+    {!Tl_util.Timer} (which shares the same [CLOCK_MONOTONIC] primitive),
+    so every duration reported by the system is step-free and mutually
+    comparable. *)
+
+val now_ns : unit -> int
+(** Monotonic nanoseconds since an arbitrary fixed epoch; never
+    allocates.  Only differences are meaningful. *)
+
+val now_s : unit -> float
+
+val ns_to_ms : int -> float
+
+val elapsed_ns : since:int -> int

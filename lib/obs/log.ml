@@ -1,0 +1,42 @@
+(* One shared Logs source for the whole system, plus a tiny reporter
+   setup so binaries can wire `--log-level` in one call.  Libraries log
+   through [info]/[debug]/[err]; with no reporter installed (the
+   default) every message is dropped for the cost of a level check. *)
+
+let src = Logs.Src.create "treelattice" ~doc:"TreeLattice diagnostics"
+
+include (val Logs.src_log src : Logs.LOG)
+
+type level = Quiet | Info | Debug
+
+let level_of_string = function
+  | "quiet" -> Ok Quiet
+  | "info" -> Ok Info
+  | "debug" -> Ok Debug
+  | other -> Error (Printf.sprintf "unknown log level %S (quiet, info, debug)" other)
+
+let level_name = function Quiet -> "quiet" | Info -> "info" | Debug -> "debug"
+
+(* Logs' format reporter is not domain-safe; serialize it so stray
+   worker-domain messages cannot interleave. *)
+let synchronized r =
+  let m = Mutex.create () in
+  {
+    Logs.report =
+      (fun src level ~over k msgf ->
+        Mutex.lock m;
+        let over () =
+          Mutex.unlock m;
+          over ()
+        in
+        r.Logs.report src level ~over k msgf);
+  }
+
+let setup level =
+  let logs_level =
+    match level with Quiet -> Logs.Error | Info -> Logs.Info | Debug -> Logs.Debug
+  in
+  Logs.set_level (Some logs_level);
+  Logs.set_reporter
+    (synchronized
+       (Logs.format_reporter ~app:Format.err_formatter ~dst:Format.err_formatter ()))

@@ -1,0 +1,22 @@
+(** Logging for the whole system, on one [Logs] source.
+
+    Libraries call the usual [Logs.LOG] functions ([err]/[warn]/[info]/
+    [debug]) included here; binaries call {!setup} once to install a
+    stderr reporter at the level selected by [--log-level].  Without
+    {!setup} no reporter is installed and every message is dropped
+    cheaply, so library instrumentation is safe to leave in place. *)
+
+include Logs.LOG
+
+val src : Logs.src
+
+type level = Quiet | Info | Debug
+(** [Quiet] still reports errors; [Info] adds progress lines; [Debug]
+    adds per-phase detail. *)
+
+val level_of_string : string -> (level, string) result
+
+val level_name : level -> string
+
+val setup : level -> unit
+(** Install a domain-serialized stderr reporter and set the level. *)

@@ -1,0 +1,46 @@
+(** Nested wall-time spans on the monotonic clock.
+
+    A span is opened and closed around a region of work with {!with_};
+    nesting is tracked per domain (each domain has its own stack, so
+    spans opened inside a {!Tl_util.Pool} map nest under nothing and
+    never race).  Spans are {e disabled by default} — when disabled,
+    {!with_} costs one atomic load — and are enabled by the [--trace]
+    CLI/bench flags or {!set_enabled}.
+
+    Finished spans accumulate in per-domain buffers until {!reset};
+    read them back as a merged list ({!finished}), as JSONL
+    ({!dump_jsonl}, one object per line with [name], [path], [domain],
+    [depth], [start_ns], [dur_ns]), or aggregated into an in-terminal
+    flame summary ({!flame}). *)
+
+type span = {
+  name : string;
+  path : string;  (** semicolon-joined ancestor chain *)
+  domain : int;
+  depth : int;  (** 1 for a root span *)
+  start_ns : int;  (** relative to the process trace epoch *)
+  dur_ns : int;
+}
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+
+val with_ : string -> (unit -> 'a) -> 'a
+(** [with_ name f] runs [f] inside a span named [name], nested under the
+    calling domain's innermost open span.  The span is recorded even
+    when [f] raises.  No-op (beyond the enabled check) when disabled. *)
+
+val finished : unit -> span list
+(** All finished spans from every domain, sorted by start time (ties:
+    domain, then path). *)
+
+val reset : unit -> unit
+(** Drop all finished spans and open stacks. *)
+
+val dump_jsonl : out_channel -> int
+(** Write {!finished} as JSON Lines; returns the number of spans. *)
+
+val flame : unit -> string
+(** Aggregate finished spans by path into an indented table — calls,
+    total, self, and mean milliseconds per span path. *)

@@ -106,10 +106,17 @@ let selectivity ctx twig =
   let twig = Twig.canonicalize twig in
   let qnodes, qn = start_run ctx twig in
   let root_label = twig.Twig.label in
-  Array.fold_left
-    (fun acc v -> acc + node_count ctx qnodes qn v 0)
-    0
-    (Data_tree.nodes_with_label ctx.tree root_label)
+  let result =
+    Array.fold_left
+      (fun acc v -> acc + node_count ctx qnodes qn v 0)
+      0
+      (Data_tree.nodes_with_label ctx.tree root_label)
+  in
+  (* Domain-sharded, so safe (and still deterministic in aggregate) when
+     counting fans out across a pool. *)
+  Tl_obs.Metrics.incr "match_count.calls";
+  Tl_obs.Metrics.observe "match_count.selectivity" result;
+  result
 
 let selectivity_rooted ctx twig v =
   let twig = Twig.canonicalize twig in

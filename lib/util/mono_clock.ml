@@ -1,0 +1,7 @@
+external now_ns : unit -> int = "tl_mono_clock_now_ns" [@@noalloc]
+
+let now_s () = float_of_int (now_ns ()) /. 1e9
+
+let ns_to_ms ns = float_of_int ns /. 1e6
+
+let elapsed_ns ~since = now_ns () - since

@@ -1,0 +1,18 @@
+(** Monotonic clock (CLOCK_MONOTONIC via a C primitive).
+
+    {!Timer} and the {!Tl_obs} spans measure durations with this clock:
+    unlike [Unix.gettimeofday] it never steps when NTP adjusts the system
+    time, so a measurement taken across an adjustment stays valid.  The
+    epoch is arbitrary (typically boot time) — readings only make sense
+    subtracted from one another, never as calendar timestamps. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since an arbitrary fixed epoch.  Never allocates. *)
+
+val now_s : unit -> float
+(** {!now_ns} in seconds. *)
+
+val ns_to_ms : int -> float
+
+val elapsed_ns : since:int -> int
+(** [elapsed_ns ~since] is [now_ns () - since]. *)

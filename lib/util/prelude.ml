@@ -37,3 +37,9 @@ let human_bytes n =
   else Printf.sprintf "%.1f MB" (float_of_int n /. (1024.0 *. 1024.0))
 
 let clamp ~lo ~hi v = if v < lo then lo else if v > hi then hi else v
+
+let string_contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i j = j = n || (haystack.[i + j] = needle.[j] && at i (j + 1)) in
+  let rec go i = i + n <= h && (at i 0 || go (i + 1)) in
+  n = 0 || go 0

@@ -22,3 +22,6 @@ val human_bytes : int -> string
 (** Render a byte count as ["512 B"], ["20.1 KB"], ["3.4 MB"]. *)
 
 val clamp : lo:'a -> hi:'a -> 'a -> 'a
+
+val string_contains : needle:string -> string -> bool
+(** Naive substring search; the empty needle is found everywhere. *)

@@ -1,9 +1,9 @@
-let now () = Unix.gettimeofday ()
+let now () = Mono_clock.now_s ()
 
 let time f =
-  let start = now () in
+  let start = Mono_clock.now_ns () in
   let result = f () in
-  (result, now () -. start)
+  (result, float_of_int (Mono_clock.elapsed_ns ~since:start) /. 1e9)
 
 let time_ms f =
   let result, s = time f in

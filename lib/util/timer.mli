@@ -1,11 +1,16 @@
-(** Wall-clock timing for the experiment harness.
+(** Timing for the experiment harness.
 
     The paper reports summary-construction time (Table 3) and per-query
     response time (Fig. 9); these helpers give millisecond-resolution
-    measurements of both one-shot and repeated computations. *)
+    measurements of both one-shot and repeated computations.
+
+    All measurements use the monotonic clock ({!Mono_clock}), so they are
+    immune to wall-clock steps (NTP adjustments, manual clock changes)
+    that would corrupt a [gettimeofday]-based stopwatch. *)
 
 val now : unit -> float
-(** Current wall-clock time in seconds. *)
+(** Current monotonic time in seconds, from an arbitrary fixed epoch.
+    Only differences are meaningful — this is {e not} calendar time. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result with the elapsed seconds. *)

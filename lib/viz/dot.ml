@@ -73,6 +73,74 @@ let synopsis ~names (s : Tl_sketch.Synopsis.t) =
     s.Tl_sketch.Synopsis.out_edges;
   digraph (Buffer.contents buf)
 
+let explain ~names (trace : Tl_core.Explain.t) =
+  let module Explain = Tl_core.Explain in
+  let buf = Buffer.create 1024 in
+  (* Stable ids from first-touch order. *)
+  let ids = Hashtbl.create 32 in
+  List.iteri (fun i key -> Hashtbl.replace ids key i) trace.Explain.order;
+  let id key = match Hashtbl.find_opt ids key with Some i -> Printf.sprintf "n%d" i | None -> "n_" ^ escape key in
+  let fnum v = if Float.is_nan v then "?" else Printf.sprintf "%.2f" v in
+  List.iter
+    (fun key ->
+      match Explain.node trace key with
+      | None -> ()
+      | Some n ->
+        let fill =
+          match n.Explain.source with
+          | Explain.Summary_hit -> "lightblue"
+          | Explain.Extra_cache -> "gold"
+          | Explain.True_zero -> "mistyrose"
+          | Explain.Decomposed -> "white"
+          | Explain.Not_evaluated -> "gray90"
+        in
+        let bold = if String.equal key trace.Explain.root_key then ", penwidth=2" else "" in
+        Buffer.add_string buf
+          (Printf.sprintf "  %s [label=\"%s\\n%s  [%s]\", style=filled, fillcolor=%s%s];\n" (id key)
+             (escape (Tl_twig.Twig.pp ~names n.Explain.twig))
+             (fnum n.Explain.value)
+             (match n.Explain.source with
+             | Explain.Summary_hit -> "summary"
+             | Explain.Extra_cache -> "extra"
+             | Explain.True_zero -> "zero"
+             | Explain.Decomposed -> "decomposed"
+             | Explain.Not_evaluated -> "unused")
+             fill bold))
+    trace.Explain.order;
+  (* Decomposition edges: parent -> each pair's numerators (solid) and
+     denominator (dashed). *)
+  List.iter
+    (fun key ->
+      match Explain.node trace key with
+      | None -> ()
+      | Some n ->
+        List.iteri
+          (fun i (p : Explain.pair) ->
+            let tag = Printf.sprintf "p%d" (i + 1) in
+            Buffer.add_string buf
+              (Printf.sprintf "  %s -> %s [label=\"%s s1\"];\n" (id key) (id p.Explain.t1) tag);
+            Buffer.add_string buf
+              (Printf.sprintf "  %s -> %s [label=\"%s s2\"];\n" (id key) (id p.Explain.t2) tag);
+            Buffer.add_string buf
+              (Printf.sprintf "  %s -> %s [label=\"%s cap\", style=dashed];\n" (id key)
+                 (id p.Explain.cap) tag))
+          n.Explain.pairs)
+    trace.Explain.order;
+  (* Fixed-size cover: chain the root to each block, block to overlap. *)
+  List.iteri
+    (fun i (s : Explain.cover_step) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> %s [label=\"B%d\", style=bold];\n" (id trace.Explain.root_key)
+           (id s.Explain.block) (i + 1));
+      Option.iter
+        (fun o ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s -> %s [label=\"I%d\", style=dashed];\n" (id s.Explain.block)
+               (id o) (i + 1)))
+        s.Explain.overlap)
+    trace.Explain.cover;
+  digraph (Buffer.contents buf)
+
 let data_tree ?(max_nodes = 64) tree =
   let n = min max_nodes (Data_tree.size tree) in
   let buf = Buffer.create 512 in

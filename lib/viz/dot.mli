@@ -15,6 +15,12 @@ val plan : names:(int -> string) -> Tl_join.Plan.t -> string
 val synopsis : names:(int -> string) -> Tl_sketch.Synopsis.t -> string
 (** Clusters as ["label (size)"] boxes, edges weighted by average count. *)
 
+val explain : names:(int -> string) -> Tl_core.Explain.t -> string
+(** An estimator explain-trace as a decomposition DAG: one box per
+    sub-twig (filled by lookup outcome — summary hit, extra-cache hit,
+    true zero, decomposed, unused), pair edges labeled [p<i> s1/s2/cap],
+    and bold [B<i>]/dashed [I<i>] edges for fixed-size cover steps. *)
+
 val data_tree : ?max_nodes:int -> Tl_tree.Data_tree.t -> string
 (** The first [max_nodes] (default 64) nodes in preorder, with elided
     children marked. *)

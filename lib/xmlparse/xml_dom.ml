@@ -169,6 +169,7 @@ let skip_misc lx =
   loop ()
 
 let parse_string input =
+  Tl_obs.Span.with_ "xml.parse" @@ fun () ->
   let lx = Xml_lexer.of_string input in
   Xml_lexer.skip_whitespace lx;
   let decl = scan_declaration lx in
@@ -178,6 +179,8 @@ let parse_string input =
   let root = scan_element lx in
   skip_misc lx;
   if not (Xml_lexer.at_end lx) then Xml_lexer.error lx "content after the root element";
+  Tl_obs.Metrics.incr "xml.documents_parsed";
+  Tl_obs.Metrics.observe "xml.input_bytes" (String.length input);
   { decl; root }
 
 let parse_file path =

@@ -30,6 +30,24 @@ queries:
   estimate[recursive+voting]=120.00
   exact=120
 
+Explain traces the decomposition behind an estimate of a query deeper
+than the lattice, and writes metrics/trace/DOT side files on request:
+
+  $ treelattice explain --xml auction.xml -k 3 "open_auction(bidder,annotation(description))" \
+  >   --dot explain.dot --metrics explain.prom --trace explain.jsonl > explain.txt
+  $ head -c 9 explain.txt
+  estimate[
+  $ grep -c "pair 1:" explain.txt > /dev/null && echo has-pairs
+  has-pairs
+  $ grep -c "^lookups:" explain.txt
+  1
+  $ grep -c "digraph" explain.dot
+  1
+  $ grep -c "tl_estimator_lookups" explain.prom
+  2
+  $ grep -c '"name":"summary.build"' explain.jsonl
+  1
+
 Join planning produces a valid guided plan:
 
   $ treelattice plan --xml auction.xml -k 3 "open_auction(bidder,annotation)" --execute | grep -c "guided"

@@ -1,0 +1,284 @@
+(* Observability subsystem: domain-sharded metrics (the parallel ==
+   sequential snapshot property), span nesting, histogram bucketing, the
+   monotonic clock behind Timer, and the estimator explain-trace. *)
+
+module TB = Tl_tree.Tree_builder
+module Metrics = Tl_obs.Metrics
+module Span = Tl_obs.Span
+module Summary = Tl_lattice.Summary
+module Estimator = Tl_core.Estimator
+module Explain = Tl_core.Explain
+module Pool = Tl_util.Pool
+
+(* --- monotonic clock (Timer's source since the wall-clock fix) ----------- *)
+
+let test_clock_monotonic () =
+  let a = Tl_obs.Clock.now_ns () in
+  let b = Tl_obs.Clock.now_ns () in
+  Alcotest.(check bool) "now_ns never goes backwards" true (b >= a);
+  Alcotest.(check bool) "elapsed_ns is non-negative" true (Tl_obs.Clock.elapsed_ns ~since:a >= 0);
+  let t0 = Tl_util.Timer.now () in
+  let t1 = Tl_util.Timer.now () in
+  Alcotest.(check bool) "Timer.now never goes backwards" true (t1 >= t0);
+  let _, ms = Tl_util.Timer.time_ms (fun () -> Sys.opaque_identity (List.init 1000 Fun.id)) in
+  Alcotest.(check bool) "time_ms is non-negative" true (ms >= 0.0)
+
+(* --- histogram bucketing ------------------------------------------------- *)
+
+let test_bucketing () =
+  let cases = [ (-5, 0); (0, 0); (1, 0); (2, 1); (3, 1); (4, 2); (7, 2); (8, 3); (1023, 9); (1024, 10) ] in
+  List.iter
+    (fun (v, b) ->
+      Alcotest.(check int) (Printf.sprintf "bucket_of %d" v) b (Metrics.bucket_of v))
+    cases;
+  Alcotest.(check int) "bucket_of max_int is clamped" 61 (Metrics.bucket_of max_int);
+  Alcotest.(check int) "bucket_floor 0" 0 (Metrics.bucket_floor 0);
+  Alcotest.(check int) "bucket_floor 1" 2 (Metrics.bucket_floor 1);
+  Alcotest.(check int) "bucket_floor 5" 32 (Metrics.bucket_floor 5);
+  (* Every value lands in the bucket whose floor bounds it below. *)
+  for v = 2 to 4096 do
+    let b = Metrics.bucket_of v in
+    assert (Metrics.bucket_floor b <= v && v < Metrics.bucket_floor (b + 1))
+  done
+
+let test_histogram_snapshot () =
+  Metrics.reset ();
+  List.iter (Metrics.observe "t.hist") [ 1; 1; 3; 8; 9; 500 ];
+  match (Metrics.snapshot ()).Metrics.histograms with
+  | [ (name, h) ] ->
+    Alcotest.(check string) "name" "t.hist" name;
+    Alcotest.(check int) "observations" 6 h.Metrics.h_observations;
+    Alcotest.(check int) "sum" 522 h.Metrics.h_sum;
+    Alcotest.(check int) "min" 1 h.Metrics.h_min;
+    Alcotest.(check int) "max" 500 h.Metrics.h_max;
+    Alcotest.(check (list (pair int int)))
+      "non-empty buckets, ascending floors"
+      [ (0, 2); (2, 1); (8, 2); (256, 1) ]
+      h.Metrics.h_buckets
+  | hs -> Alcotest.failf "expected one histogram, got %d" (List.length hs)
+
+(* --- counters, gauges, rendering ----------------------------------------- *)
+
+let test_counters_and_rendering () =
+  Metrics.reset ();
+  Metrics.incr "b.count";
+  Metrics.add "b.count" 4;
+  Metrics.incr "a.count";
+  Metrics.set_gauge "g.size" 3;
+  Metrics.set_gauge "g.size" 7;
+  Metrics.observe "h.vals" 10;
+  let snap = Metrics.snapshot () in
+  Alcotest.(check (list (pair string int)))
+    "counters sorted and summed"
+    [ ("a.count", 1); ("b.count", 5) ]
+    snap.Metrics.counters;
+  Alcotest.(check (list (pair string int))) "gauge keeps last set" [ ("g.size", 7) ] snap.Metrics.gauges;
+  let prom = Metrics.to_prometheus snap in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("prometheus output contains " ^ needle) true
+        (Tl_util.Prelude.string_contains ~needle prom))
+    [
+      "# TYPE tl_a_count counter"; "tl_b_count 5"; "# TYPE tl_g_size gauge";
+      "# TYPE tl_h_vals histogram"; "tl_h_vals_bucket{le=\"+Inf\"} 1"; "tl_h_vals_sum 10";
+    ];
+  Alcotest.(check bool) "pp_table mentions the counter" true
+    (Tl_util.Prelude.string_contains ~needle:"a.count" (Metrics.pp_table snap));
+  Metrics.reset ();
+  let empty = Metrics.snapshot () in
+  Alcotest.(check int) "reset clears counters" 0 (List.length empty.Metrics.counters)
+
+(* --- the tentpole property: parallel metrics == sequential --------------- *)
+
+(* The same per-element work (counter bumps + histogram observations) run
+   through an N-domain pool must merge to a snapshot bit-identical to the
+   sequential run.  Gauges are excluded: [max]-merge is deterministic but
+   "last write" (sequential) and "max across domains" (parallel) are
+   different reductions by design. *)
+let prop_parallel_snapshot_identical =
+  let open QCheck2 in
+  let gen = Gen.pair (Gen.list_size (Gen.int_range 1 120) (Gen.int_bound 2000)) (Gen.int_range 2 4) in
+  Helpers.qcheck_case ~count:25 ~name:"metrics: pool run merges to the sequential snapshot" gen
+    (fun (values, domains) ->
+      let work v =
+        Metrics.incr "p.elements";
+        Metrics.add "p.sum" v;
+        Metrics.observe "p.hist" v
+      in
+      let arr = Array.of_list values in
+      Metrics.reset ();
+      Array.iter work arr;
+      let sequential = Metrics.snapshot () in
+      Metrics.reset ();
+      let _ = Pool.with_pool ~domains (fun pool -> Pool.parallel_map pool (fun v -> work v; v) arr) in
+      let parallel = Metrics.snapshot () in
+      Metrics.equal_snapshot sequential parallel)
+
+(* End-to-end flavor of the same property: mining a summary across a pool
+   leaves the instrumentation (match-count calls, per-level candidate
+   counters, selectivity histogram) identical to the sequential run. *)
+let test_miner_metrics_parallel_identical () =
+  let tree = Helpers.tree_of Helpers.fig11_spec in
+  let ctx = Tl_twig.Match_count.create_ctx tree in
+  Metrics.reset ();
+  let seq = Tl_mining.Miner.mine ctx ~max_size:3 in
+  let seq_snap = Metrics.snapshot () in
+  Metrics.reset ();
+  let par = Pool.with_pool ~domains:3 (fun pool -> Tl_mining.Miner.mine ~pool ctx ~max_size:3) in
+  let par_snap = Metrics.snapshot () in
+  Alcotest.(check int) "same pattern count" (Tl_mining.Miner.total_patterns seq)
+    (Tl_mining.Miner.total_patterns par);
+  Alcotest.(check bool) "mining metrics identical under -j 3" true
+    (Metrics.equal_snapshot seq_snap par_snap)
+
+(* --- spans ---------------------------------------------------------------- *)
+
+let with_spans f =
+  Span.reset ();
+  Span.set_enabled true;
+  Fun.protect ~finally:(fun () -> Span.set_enabled false) f
+
+let test_span_nesting () =
+  with_spans @@ fun () ->
+  let r =
+    Span.with_ "outer" (fun () ->
+        Span.with_ "inner" (fun () -> ignore (Sys.opaque_identity 1));
+        Span.with_ "inner" (fun () -> ());
+        17)
+  in
+  Alcotest.(check int) "with_ returns the body's value" 17 r;
+  let spans = Span.finished () in
+  Alcotest.(check (list string))
+    "paths record the ancestor chain, sorted by start time"
+    [ "outer"; "outer;inner"; "outer;inner" ]
+    (List.map (fun s -> s.Span.path) spans);
+  let outer = List.hd spans in
+  Alcotest.(check int) "root depth" 1 outer.Span.depth;
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "child depth" 2 s.Span.depth;
+      Alcotest.(check bool) "child starts inside parent" true (s.Span.start_ns >= outer.Span.start_ns);
+      Alcotest.(check bool) "child fits inside parent" true (s.Span.dur_ns <= outer.Span.dur_ns))
+    (List.tl spans)
+
+let test_span_exception_and_disabled () =
+  with_spans (fun () ->
+      (try Span.with_ "boom" (fun () -> failwith "x") with Failure _ -> ());
+      Alcotest.(check int) "span recorded despite the raise" 1 (List.length (Span.finished ())));
+  Span.reset ();
+  Alcotest.(check bool) "disabled by default here" false (Span.enabled ());
+  Alcotest.(check int) "disabled with_ still runs the body" 3 (Span.with_ "off" (fun () -> 3));
+  Alcotest.(check int) "and records nothing" 0 (List.length (Span.finished ()))
+
+let test_span_jsonl_and_flame () =
+  with_spans @@ fun () ->
+  Span.with_ "a" (fun () -> Span.with_ "b" (fun () -> ()));
+  let path = Filename.temp_file "tl_obs" ".jsonl" in
+  let oc = open_out path in
+  let n = Span.dump_jsonl oc in
+  close_out oc;
+  Alcotest.(check int) "two spans dumped" 2 n;
+  let ic = open_in path in
+  let first = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "JSONL line carries the path" true
+    (Tl_util.Prelude.string_contains ~needle:{|"path":"a"|} first);
+  let flame = Span.flame () in
+  Alcotest.(check bool) "flame table indents the child" true
+    (Tl_util.Prelude.string_contains ~needle:"  b" flame)
+
+(* --- explain traces ------------------------------------------------------- *)
+
+let golden_doc = TB.node "a" [ TB.node "b" [ TB.leaf "c" ]; TB.node "b" [ TB.leaf "c" ] ]
+
+let golden_text =
+  "estimate[recursive+voting] = 2.00 for a(b(c))\n\
+   query a(b(c)) = 2.00 [decomposed] via 1 pair(s):\n\
+  \  pair 1: s1*s2/s_cap = 2.00  [e1=2.00 e2=2.00 e_cap=2.00]\n\
+  \    s1  b(c) = 2.00 [summary]\n\
+  \    s2  a(b) = 2.00 [summary]\n\
+  \    s_cap b = 2.00 [summary]\n\
+   lookups: 3 summary hit(s), 0 extra hit(s), 0 true zero(s), 1 decomposition(s); 4 distinct \
+   sub-twig(s)\n"
+
+let test_explain_golden () =
+  let tree = Helpers.tree_of golden_doc in
+  let summary = Summary.build ~k:2 tree in
+  let twig = Helpers.twig_of_string tree "a(b(c))" in
+  let trace = Explain.run summary Estimator.Recursive_voting twig in
+  Alcotest.(check (float 0.0))
+    "trace estimate is the estimator's own"
+    (Estimator.estimate summary Estimator.Recursive_voting twig)
+    trace.Explain.estimate;
+  Alcotest.(check int) "three summary hits" 3 trace.Explain.summary_hits;
+  Alcotest.(check int) "one decomposition" 1 trace.Explain.decompositions;
+  Alcotest.(check string) "golden rendering" golden_text
+    (Explain.to_text ~names:(Tl_tree.Data_tree.label_name tree) trace);
+  let dot = Tl_viz.Dot.explain ~names:(Tl_tree.Data_tree.label_name tree) trace in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("dot contains " ^ needle) true
+        (Tl_util.Prelude.string_contains ~needle dot))
+    [ "digraph"; "penwidth=2"; "fillcolor=lightblue"; "cap\", style=dashed" ]
+
+(* Whatever the scheme and the twig, the traced estimate equals the plain
+   estimator's answer — the trace observes the one implementation rather
+   than re-deriving it. *)
+let prop_explain_matches_estimator =
+  let open QCheck2 in
+  let gen =
+    Gen.triple (Helpers.spec_gen ~max_nodes:30)
+      (Helpers.twig_gen ~nlabels:6 ~max_nodes:6 ())
+      (Gen.oneofl [ Estimator.Recursive; Estimator.Recursive_voting; Estimator.Fixed_size ])
+  in
+  Helpers.qcheck_case ~count:60 ~name:"explain: trace estimate equals Estimator.estimate" gen
+    (fun (spec, twig, scheme) ->
+      let tree = Helpers.tree_of spec in
+      let summary = Summary.build ~k:3 tree in
+      let trace = Explain.run summary scheme twig in
+      let direct = Estimator.estimate summary scheme twig in
+      (Float.equal trace.Explain.estimate direct
+      || Float.abs (trace.Explain.estimate -. direct) <= 1e-9 *. Float.abs direct)
+      && List.length trace.Explain.order >= 1)
+
+let test_explain_true_zero () =
+  let tree = Helpers.tree_of golden_doc in
+  let summary = Summary.build ~k:2 tree in
+  (* d never occurs: the summary is complete at level 1, so the lookup is
+     a recorded true zero and the estimate collapses to 0. *)
+  let twig = Tl_twig.Twig.node 0 [ Tl_twig.Twig.leaf 3 ] in
+  let trace = Explain.run summary Estimator.Recursive_voting twig in
+  Alcotest.(check (float 0.0)) "estimate is zero" 0.0 trace.Explain.estimate;
+  Alcotest.(check bool) "at least one true zero recorded" true (trace.Explain.true_zeros >= 1)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "clock",
+        [
+          Alcotest.test_case "monotonic now_ns and Timer" `Quick test_clock_monotonic;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "log-scale bucketing" `Quick test_bucketing;
+          Alcotest.test_case "histogram snapshot" `Quick test_histogram_snapshot;
+          Alcotest.test_case "counters, gauges, rendering" `Quick test_counters_and_rendering;
+          prop_parallel_snapshot_identical;
+          Alcotest.test_case "miner metrics identical under a pool" `Quick
+            test_miner_metrics_parallel_identical;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and paths" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety and disabled mode" `Quick
+            test_span_exception_and_disabled;
+          Alcotest.test_case "jsonl sink and flame summary" `Quick test_span_jsonl_and_flame;
+        ] );
+      ( "explain",
+        [
+          Alcotest.test_case "golden trace" `Quick test_explain_golden;
+          prop_explain_matches_estimator;
+          Alcotest.test_case "true zero short-circuit" `Quick test_explain_true_zero;
+        ] );
+    ]
