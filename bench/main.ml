@@ -131,6 +131,93 @@ let run_parallel_build ~jobs ~k pool suite =
         ~unit:"ratio" ~ms:(seq_ms +. par_ms))
     (Experiments.envs suite)
 
+(* --- estimation latency: interned keys vs the seed string path ----------- *)
+
+module Baseline = Tl_core.Baseline
+module Workload = Tl_workload.Workload
+
+(* Per-estimate latency over the Fig. 9 positive workloads, for every
+   scheme, measured twice: against the hash-consed estimator and against
+   {!Tl_core.Baseline} (the seed string-keyed path on its own twig type).
+   One warm-up sweep precedes timing so the interned path is measured at
+   steady state (keys cached on the workload twigs), which is the regime
+   repeated estimation over a workload actually runs in; the recorded
+   speedup is the headline number of this optimization. *)
+let estimation_reps = 9
+
+(* Best-of-interleaved-reps: repeated workload estimation is a steady-state
+   regime, so the minimum sweep time is the signal and slower sweeps are GC
+   pauses or scheduler noise.  The two paths' sweeps alternate so a noisy
+   stretch of wall-clock hits both rather than biasing the ratio, and both
+   start from one untimed warm-up sweep (caches in working state) and a
+   clean GC point. *)
+let paired_ns_per_estimate ~keyed ~baseline queries =
+  let sweep estimate =
+    Array.iter (fun (q : Workload.query) -> ignore (estimate q.Workload.twig)) queries
+  in
+  sweep keyed;
+  sweep baseline;
+  Gc.full_major ();
+  let nq = float_of_int (Array.length queries) in
+  let kbest = ref infinity and bbest = ref infinity in
+  let ktotal = ref 0.0 and btotal = ref 0.0 in
+  for _ = 1 to estimation_reps do
+    let (), kms = Timer.time_ms (fun () -> sweep keyed) in
+    let (), bms = Timer.time_ms (fun () -> sweep baseline) in
+    if kms < !kbest then kbest := kms;
+    if bms < !bbest then bbest := bms;
+    ktotal := !ktotal +. kms;
+    btotal := !btotal +. bms
+  done;
+  ((!kbest *. 1e6 /. nq, !ktotal), (!bbest *. 1e6 /. nq, !btotal))
+
+let run_estimation_latency suite =
+  print_string
+    (Tl_harness.Report.section "estimation-latency"
+       "fig9 workload: interned-key estimation vs seed string path (ns/estimate)");
+  List.iter
+    (fun env ->
+      let name = env.Experiments.dataset.Dataset.name in
+      let summary = env.Experiments.summary in
+      let baseline = Baseline.of_summary summary in
+      let queries =
+        Array.concat (List.map (fun (wl : Workload.t) -> wl.Workload.queries) env.Experiments.workloads)
+      in
+      if Array.length queries > 0 then begin
+        let speedups = ref [] in
+        List.iter
+          (fun scheme ->
+            let sname = Estimator.scheme_name scheme in
+            let (keyed_ns, keyed_ms), (base_ns, base_ms) =
+              paired_ns_per_estimate
+                ~keyed:(Estimator.estimate summary scheme)
+                ~baseline:(fun twig -> Baseline.estimate baseline scheme twig)
+                queries
+            in
+            let speedup = base_ns /. Float.max 1e-9 keyed_ns in
+            Printf.printf "  %-8s %-22s keyed %9.0f ns   string %9.0f ns   speedup %5.2fx\n%!" name
+              sname keyed_ns base_ns speedup;
+            record ~experiment:"estimation-latency" ~dataset:name
+              ~metric:(Printf.sprintf "ns_per_estimate/%s" sname)
+              ~value:keyed_ns ~unit:"ns" ~ms:keyed_ms;
+            record ~experiment:"estimation-latency" ~dataset:name
+              ~metric:(Printf.sprintf "baseline_ns_per_estimate/%s" sname)
+              ~value:base_ns ~unit:"ns" ~ms:base_ms;
+            record ~experiment:"estimation-latency" ~dataset:name
+              ~metric:(Printf.sprintf "speedup/%s" sname)
+              ~value:speedup ~unit:"ratio" ~ms:(keyed_ms +. base_ms);
+            speedups := speedup :: !speedups)
+          Estimator.all_schemes;
+        let geomean =
+          exp (List.fold_left (fun acc s -> acc +. log s) 0.0 !speedups
+              /. float_of_int (List.length !speedups))
+        in
+        Printf.printf "  %-8s %-22s speedup %5.2fx (geometric mean)\n%!" name "all schemes" geomean;
+        record ~experiment:"estimation-latency" ~dataset:name ~metric:"speedup/geomean"
+          ~value:geomean ~unit:"ratio" ~ms:0.0
+      end)
+    (Experiments.envs suite)
+
 (* --- phase 2: micro-benchmarks ------------------------------------------ *)
 
 (* A small fixed environment so micro-benchmarks are quick and stable. *)
@@ -299,12 +386,16 @@ let () =
     | None -> config
   in
   let jobs = match int_arg "-j" with Some j -> max 1 j | None -> 1 in
-  let pool = Pool.create ~domains:jobs () in
-  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
   Printf.printf
     "TreeLattice reproduction bench (target=%d elements/dataset, k=%d, %d queries/size, -j %d)\n%!"
     config.Experiments.target config.Experiments.k config.Experiments.queries_per_size jobs;
-  let suite, ms = Timer.time_ms (fun () -> Experiments.make_suite ~pool config) in
+  (* The pool lives only for the phases that use it: idle domains still
+     rendezvous at every stop-the-world minor collection, which would add
+     jitter to the single-domain latency timings below. *)
+  let suite =
+    let pool = Pool.create ~domains:jobs () in
+    Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+    let suite, ms = Timer.time_ms (fun () -> Experiments.make_suite ~pool config) in
   Printf.printf "prepared 4 datasets in %.1f s\n%!" (ms /. 1000.0);
   record ~experiment:"prepare" ~dataset:"all" ~metric:"suite_prepare_ms" ~value:ms ~unit:"ms" ~ms;
   List.iter
@@ -324,7 +415,10 @@ let () =
       Printf.printf "  [%s completed in %.1f s]\n%!" id (ms /. 1000.0);
       record ~experiment:id ~dataset:"all" ~metric:"report_ms" ~value:ms ~unit:"ms" ~ms)
     Experiments.all_experiments;
-  run_parallel_build ~jobs ~k:config.Experiments.k pool suite;
+    run_parallel_build ~jobs ~k:config.Experiments.k pool suite;
+    suite
+  in
+  run_estimation_latency suite;
   if not (has_flag "--skip-micro") then run_micro ();
   write_json ~jobs ~target:config.Experiments.target ~quick "BENCH_summary.json";
   Option.iter (write_json ~jobs ~target:config.Experiments.target ~quick) (arg_value "--json");

@@ -5,7 +5,7 @@ type entry = { count : int; mutable last_used : int }
 type t = {
   tl : Treelattice.t;
   capacity : int;
-  cache : (string, entry) Hashtbl.t;
+  cache : (int, entry) Hashtbl.t;  (* keyed by Twig.Key.id *)
   mutable clock : int;
   mutable hits : int;
 }
@@ -21,7 +21,7 @@ let tick t =
   t.clock
 
 let lookup t key =
-  match Hashtbl.find_opt t.cache key with
+  match Hashtbl.find_opt t.cache (Twig.Key.id key) with
   | Some entry ->
     entry.last_used <- tick t;
     t.hits <- t.hits + 1;
@@ -40,13 +40,13 @@ let evict_lru t =
 
 let observe t twig count =
   if count < 0 then invalid_arg "Adaptive.observe: negative count";
-  let twig = Twig.canonicalize twig in
+  let key = Twig.key twig in
   (* The lattice already stores every pattern within its depth exactly;
      caching those would only waste capacity. *)
-  if Twig.size twig > Tl_lattice.Summary.k (Treelattice.summary t.tl) then begin
-    let key = Twig.encode twig in
-    if (not (Hashtbl.mem t.cache key)) && Hashtbl.length t.cache >= t.capacity then evict_lru t;
-    Hashtbl.replace t.cache key { count; last_used = tick t }
+  if Twig.size (Twig.Key.twig key) > Tl_lattice.Summary.k (Treelattice.summary t.tl) then begin
+    let id = Twig.Key.id key in
+    if (not (Hashtbl.mem t.cache id)) && Hashtbl.length t.cache >= t.capacity then evict_lru t;
+    Hashtbl.replace t.cache id { count; last_used = tick t }
   end
 
 let observe_exact t twig =
@@ -56,6 +56,9 @@ let observe_exact t twig =
 
 let estimate ?(scheme = Treelattice.default_scheme) t twig =
   Estimator.estimate ~extra:(lookup t) (Treelattice.summary t.tl) scheme twig
+
+let estimate_interval t twig =
+  Estimator.estimate_interval ~extra:(lookup t) (Treelattice.summary t.tl) twig
 
 let cached_patterns t = Hashtbl.length t.cache
 

@@ -22,6 +22,16 @@ val estimate : ?scheme:Estimator.scheme -> t -> Tl_twig.Twig.t -> float
 (** Like {!Treelattice.estimate}, with cached counts taking precedence at
     every lookup. *)
 
+val estimate_interval : t -> Tl_twig.Twig.t -> Estimator.interval
+(** Like {!Treelattice.estimate_interval}, with the feedback cache threaded
+    into both the votes and the best estimate — the interval always
+    contains what {!estimate} returns. *)
+
+val lookup : t -> Tl_twig.Twig.Key.t -> float option
+(** The cache as an {!Estimator.estimate} [?extra] source: the cached exact
+    count of a pattern (bumping its recency), or [None].  Exposed so other
+    drivers can compose the cache with their own estimation calls. *)
+
 val observe : t -> Tl_twig.Twig.t -> int -> unit
 (** Record the true count of a query (e.g. after executing it).  Counts
     for patterns already inside the lattice are not cached — the summary

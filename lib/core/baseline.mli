@@ -1,0 +1,29 @@
+(** The seed string-keyed estimation path, preserved as a reference.
+
+    This module re-implements the decomposition estimators exactly as they
+    were before canonical twig keys were hash-consed: every
+    canonicalization re-encodes its subtree, and every memo and summary
+    lookup hashes a full encoding string.  It operates on a private twig
+    copy type, so the interning in {!Tl_twig.Twig} cannot leak in and make
+    it artificially fast.
+
+    Two consumers:
+    - the qcheck differential suite asserts {!estimate} is {e bit-identical}
+      to {!Estimator.estimate} for every scheme, with and without an
+      [?extra] feedback source;
+    - the benchmark's estimation-latency section measures the interned-key
+      speedup against this path — the real before, not a strawman. *)
+
+type t
+(** A string-keyed snapshot of a lattice summary. *)
+
+val of_summary : Tl_lattice.Summary.t -> t
+
+val estimate :
+  ?extra:(string -> float option) ->
+  t ->
+  Estimator.scheme ->
+  Tl_twig.Twig.t ->
+  float
+(** Seed-path estimate of the query's selectivity.  [extra] is keyed by
+    canonical encoding, as the seed's was. *)

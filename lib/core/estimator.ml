@@ -81,38 +81,41 @@ let nodes_except (ix : Twig.indexed) dropped =
    (the workload-adaptive cache of {!Adaptive}); [fun _ -> None] for the
    plain estimators. *)
 let recursive_estimate ?(extra = fun _ -> None) ?probe ~voting summary twig =
-  let memo : (string, float) Hashtbl.t = Hashtbl.create 64 in
+  (* Memoized on interned canonical ids: the per-call table hashes ints,
+     and repeat sub-twigs cost one cached [Twig.key] field read. *)
+  let memo : (int, float) Hashtbl.t = Hashtbl.create 64 in
   let complete = Summary.is_complete summary in
   let k = Summary.k summary in
   let rec est twig =
-    let key = Twig.encode twig in
-    match Hashtbl.find_opt memo key with
+    let key = Twig.key twig in
+    let id = Twig.Key.id key in
+    match Hashtbl.find_opt memo id with
     | Some v -> v
     | None ->
-      let v = compute twig key in
-      Hashtbl.replace memo key v;
+      let v = compute (Twig.Key.twig key) key in
+      Hashtbl.replace memo id v;
       v
   and compute twig key =
     match (extra key : float option) with
     | Some known ->
-      probe_lookup probe key (Found_extra known);
+      probe_lookup probe (Twig.Key.encode key) (Found_extra known);
       known
     | None ->
-    match Summary.find_encoded summary key with
+    match Summary.find_key summary key with
     | Some count ->
-      probe_lookup probe key (Found_summary count);
+      probe_lookup probe (Twig.Key.encode key) (Found_summary count);
       float_of_int count
     | None ->
-      let n = Twig.size twig in
+      let n = Twig.Key.size key in
       (* Levels 1 and 2 are complete in every summary (pruning keeps them),
          so a miss there is a true zero; likewise any level <= k of a
          complete summary. *)
       if n <= 2 || (complete && n <= k) then begin
-        probe_lookup probe key Assumed_zero;
+        probe_lookup probe (Twig.Key.encode key) Assumed_zero;
         0.0
       end
       else begin
-        probe_lookup probe key Decomposing;
+        probe_lookup probe (Twig.Key.encode key) Decomposing;
         let ix = Twig.index twig in
         let removable = Twig.degree_one ix in
         let pairs = unordered_pairs removable in
@@ -122,8 +125,11 @@ let recursive_estimate ?(extra = fun _ -> None) ?probe ~voting summary twig =
           | false, first :: _ -> [ first ]
         in
         let value_of (u, u') =
-          let t1 = Twig.induced ix (nodes_except ix [ u ]) in
-          let t2 = Twig.induced ix (nodes_except ix [ u' ]) in
+          (* [remove] = [induced] of all-but-one for a degree-1 node, minus
+             the node-list and connectivity-check overhead; same canonical
+             result, hence the same key and the same floats. *)
+          let t1 = Twig.remove ix u in
+          let t2 = Twig.remove ix u' in
           (* Theorem 1 assumes the two grown edges are distinct.  When
              u and u' are same-labeled siblings the two edges are the
              SAME edge type, and matches must place them injectively:
@@ -141,7 +147,7 @@ let recursive_estimate ?(extra = fun _ -> None) ?probe ~voting summary twig =
             | None -> ()
             | Some p ->
               let cap = Twig.induced ix (nodes_except ix [ u; u' ]) in
-              p.on_pair ~parent:key ~t1:(Twig.encode t1) ~t2:(Twig.encode t2)
+              p.on_pair ~parent:(Twig.Key.encode key) ~t1:(Twig.encode t1) ~t2:(Twig.encode t2)
                 ~cap:(Twig.encode cap) ~twin:twin_edges ~e1 ~e2 ~ec ~value);
             value
           in
@@ -164,7 +170,7 @@ let recursive_estimate ?(extra = fun _ -> None) ?probe ~voting summary twig =
         | _ ->
           let total = List.fold_left (fun acc pair -> acc +. value_of pair) 0.0 pairs in
           let v = total /. float_of_int (List.length pairs) in
-          (match probe with None -> () | Some p -> p.on_value key v);
+          (match probe with None -> () | Some p -> p.on_value (Twig.Key.encode key) v);
           v
       end
   in
@@ -239,19 +245,19 @@ let cover twig ~k =
 (* Stored count of a small pattern, falling back to recursive decomposition
    when a pruned summary no longer holds it (keeps Lemma 5). *)
 let small_estimate ?(extra = fun _ -> None) ?probe summary twig =
-  let key = Twig.encode twig in
+  let key = Twig.key twig in
   match extra key with
   | Some known ->
-    probe_lookup probe key (Found_extra known);
+    probe_lookup probe (Twig.Key.encode key) (Found_extra known);
     known
   | None -> (
-    match Summary.find_encoded summary key with
+    match Summary.find_key summary key with
     | Some c ->
-      probe_lookup probe key (Found_summary c);
+      probe_lookup probe (Twig.Key.encode key) (Found_summary c);
       float_of_int c
     | None ->
       if Summary.is_complete summary then begin
-        probe_lookup probe key Assumed_zero;
+        probe_lookup probe (Twig.Key.encode key) Assumed_zero;
         0.0
       end
       else recursive_estimate ~extra ?probe ~voting:false summary twig)
@@ -305,7 +311,7 @@ let estimate_of_cover ?extra ?probe summary blocks =
 let fixed_size_estimate ?extra ?probe ?samples summary twig =
   let k = Summary.k summary in
   let twig = Twig.canonicalize twig in
-  if Twig.size twig <= k then small_estimate ?extra ?probe summary twig
+  if Twig.Key.size (Twig.key twig) <= k then small_estimate ?extra ?probe summary twig
   else begin
     let ix = Twig.index twig in
     match samples with
@@ -325,44 +331,52 @@ let fixed_size_estimate ?extra ?probe ?samples summary twig =
       !total /. float_of_int count
   end
 
-let first_level_votes summary twig =
-  let twig = Twig.canonicalize twig in
-  match Summary.find summary twig with
-  | Some count -> [ float_of_int count ]
-  | None ->
-    let n = Twig.size twig in
-    if n <= 2 || (Summary.is_complete summary && n <= Summary.k summary) then [ 0.0 ]
-    else begin
-      let ix = Twig.index twig in
-      let pairs = unordered_pairs (Twig.degree_one ix) in
-      (* Each vote resolves its sub-estimates deterministically, isolating
-         the effect of the top-level pair choice. *)
-      List.map
-        (fun (u, u') ->
-          let t1 = Twig.induced ix (nodes_except ix [ u ]) in
-          let t2 = Twig.induced ix (nodes_except ix [ u' ]) in
-          let cap = Twig.induced ix (nodes_except ix [ u; u' ]) in
-          let e1 = recursive_estimate ~voting:false summary t1 in
-          let e2 = recursive_estimate ~voting:false summary t2 in
-          let ec = recursive_estimate ~voting:false summary cap in
-          if e1 = 0.0 || e2 = 0.0 || ec <= 0.0 then 0.0
-          else begin
-            let twin_edges =
-              ix.parents.(u) >= 0
-              && ix.parents.(u) = ix.parents.(u')
-              && ix.node_labels.(u) = ix.node_labels.(u')
-            in
-            if twin_edges then Float.max 0.0 ((e1 *. e2 /. ec) -. e1) else e1 *. e2 /. ec
-          end)
-        pairs
-    end
+let first_level_votes ?(extra = fun _ -> None) summary twig =
+  let key = Twig.key twig in
+  let twig = Twig.Key.twig key in
+  (* The seed dropped [extra] here, so the vote spread (and hence
+     {!estimate_interval}) could exclude the value [estimate ~extra]
+     returns.  The feedback source must win at the top level and inside
+     every sub-estimate, exactly as in {!recursive_estimate}. *)
+  match extra key with
+  | Some known -> [ known ]
+  | None -> (
+    match Summary.find_key summary key with
+    | Some count -> [ float_of_int count ]
+    | None ->
+      let n = Twig.Key.size key in
+      if n <= 2 || (Summary.is_complete summary && n <= Summary.k summary) then [ 0.0 ]
+      else begin
+        let ix = Twig.index twig in
+        let pairs = unordered_pairs (Twig.degree_one ix) in
+        (* Each vote resolves its sub-estimates deterministically, isolating
+           the effect of the top-level pair choice. *)
+        List.map
+          (fun (u, u') ->
+            let t1 = Twig.induced ix (nodes_except ix [ u ]) in
+            let t2 = Twig.induced ix (nodes_except ix [ u' ]) in
+            let cap = Twig.induced ix (nodes_except ix [ u; u' ]) in
+            let e1 = recursive_estimate ~extra ~voting:false summary t1 in
+            let e2 = recursive_estimate ~extra ~voting:false summary t2 in
+            let ec = recursive_estimate ~extra ~voting:false summary cap in
+            if e1 = 0.0 || e2 = 0.0 || ec <= 0.0 then 0.0
+            else begin
+              let twin_edges =
+                ix.parents.(u) >= 0
+                && ix.parents.(u) = ix.parents.(u')
+                && ix.node_labels.(u) = ix.node_labels.(u')
+              in
+              if twin_edges then Float.max 0.0 ((e1 *. e2 /. ec) -. e1) else e1 *. e2 /. ec
+            end)
+          pairs
+      end)
 
 type interval = { low : float; best : float; high : float }
 
-let estimate_interval summary twig =
+let estimate_interval ?extra summary twig =
   let twig = Twig.canonicalize twig in
-  let votes = Array.of_list (first_level_votes summary twig) in
-  let best = recursive_estimate ~voting:true summary twig in
+  let votes = Array.of_list (first_level_votes ?extra summary twig) in
+  let best = recursive_estimate ?extra ~voting:true summary twig in
   if Array.length votes = 0 then { low = best; best; high = best }
   else
     {

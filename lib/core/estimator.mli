@@ -76,7 +76,7 @@ type probe = {
 }
 
 val estimate :
-  ?extra:(string -> float option) ->
+  ?extra:(Tl_twig.Twig.Key.t -> float option) ->
   ?probe:probe ->
   Tl_lattice.Summary.t ->
   scheme ->
@@ -85,30 +85,48 @@ val estimate :
 (** Estimated selectivity (>= 0, fractional in general).  Exact lookups are
     returned as-is; a twig whose label set cannot occur estimates to 0.
 
-    [extra] is an auxiliary count source keyed by canonical twig encoding,
+    [extra] is an auxiliary count source keyed by interned canonical key,
     consulted {e before} the summary at every lookup (including the
     sub-twig lookups inside a decomposition).  {!Adaptive} uses it to let
-    workload-observed exact counts anchor future decompositions. *)
+    workload-observed exact counts anchor future decompositions.  A
+    string-keyed source can be adapted with
+    [fun k -> f (Tl_twig.Twig.Key.encode k)] — the encoding is cached, so
+    the adapter costs one field read ({!Explain.run} does exactly this). *)
 
-val first_level_votes : Tl_lattice.Summary.t -> Tl_twig.Twig.t -> float list
+val first_level_votes :
+  ?extra:(Tl_twig.Twig.Key.t -> float option) ->
+  Tl_lattice.Summary.t ->
+  Tl_twig.Twig.t ->
+  float list
 (** The estimates contributed by each admissible leaf-pair choice at the
     {e top} level of the recursive decomposition, with sub-estimates
-    resolved deterministically.  A singleton for lattice-resident twigs.
-    This isolates the sensitivity of the scheme to the pair choice — the
-    quantity the voting extension averages away (used by the pair-choice
-    ablation). *)
+    resolved deterministically.  A singleton for lattice-resident twigs —
+    or for twigs the [extra] feedback source answers at the top level; the
+    source is also consulted inside every sub-estimate, mirroring
+    {!estimate}.  This isolates the sensitivity of the scheme to the pair
+    choice — the quantity the voting extension averages away (used by the
+    pair-choice ablation). *)
 
 type interval = { low : float; best : float; high : float }
 (** A sensitivity interval around an estimate. *)
 
-val estimate_interval : Tl_lattice.Summary.t -> Tl_twig.Twig.t -> interval
+val estimate_interval :
+  ?extra:(Tl_twig.Twig.Key.t -> float option) ->
+  Tl_lattice.Summary.t ->
+  Tl_twig.Twig.t ->
+  interval
 (** [best] is the voting estimate; [low]/[high] bound the spread of the
     admissible top-level decompositions ({!first_level_votes}).  The paper
     lists a formal error bound as future work; this interval is the
     practical proxy — when all decompositions agree the independence
     assumption is locally consistent and the estimate is trustworthy, and
     a wide interval flags correlation.  Lattice-resident twigs collapse to
-    a point (the count is exact). *)
+    a point (the count is exact).
+
+    [extra] is threaded into the votes {e and} the best estimate, so the
+    interval always contains what [estimate ?extra] returns with the same
+    source (the seed dropped it from the votes, which could leave the
+    adaptive estimate outside its own interval). *)
 
 val cover : Tl_twig.Twig.t -> k:int -> (Tl_twig.Twig.t * Tl_twig.Twig.t option) list
 (** The deterministic fixed-size cover of a twig of size [> k]: the list

@@ -48,6 +48,10 @@ type t = {
 let node t key = Hashtbl.find_opt t.nodes key
 
 let run ?extra summary scheme twig =
+  (* The public [extra] stays string-keyed (callers like the CLI hold
+     encoding->count maps); the cached encoding makes the adaptation one
+     field read per lookup. *)
+  let extra = Option.map (fun f key -> f (Twig.Key.encode key)) extra in
   let twig = Twig.canonicalize twig in
   let nodes : (string, node) Hashtbl.t = Hashtbl.create 64 in
   let order = ref [] in
@@ -105,7 +109,7 @@ let run ?extra summary scheme twig =
     }
   in
   let estimate = Estimator.estimate ?extra ~probe summary scheme twig in
-  let votes = Estimator.first_level_votes summary twig in
+  let votes = Estimator.first_level_votes ?extra summary twig in
   Hashtbl.iter (fun _ n -> n.pairs <- List.rev n.pairs) nodes;
   {
     scheme;

@@ -1,19 +1,23 @@
 module Twig = Tl_twig.Twig
+module Key = Tl_twig.Twig.Key
 
-type entry = { twig : Twig.t; size : int; count : int }
+type entry = { key : Key.t; size : int; count : int }
 
-type t = { k : int; complete : bool; table : (string, entry) Hashtbl.t }
+(* The table is keyed by the interned canonical id ({!Key.id}), so the
+   estimators' lookups hash and compare ints; the canonical twig and its
+   encoding ride along inside the stored {!Key.t}. *)
+type t = { k : int; complete : bool; table : (int, entry) Hashtbl.t }
 
 let of_patterns ~k ~complete patterns =
   if k < 2 then invalid_arg "Summary.of_patterns: k must be >= 2";
   let table = Hashtbl.create (max 64 (List.length patterns)) in
   List.iter
     (fun (twig, count) ->
-      let twig = Twig.canonicalize twig in
-      let size = Twig.size twig in
+      let key = Twig.key twig in
+      let size = Twig.size (Key.twig key) in
       if size > k then invalid_arg "Summary.of_patterns: pattern larger than k";
       if count < 0 then invalid_arg "Summary.of_patterns: negative count";
-      Hashtbl.replace table (Twig.encode twig) { twig; size; count })
+      Hashtbl.replace table (Key.id key) { key; size; count })
     patterns;
   { k; complete; table }
 
@@ -34,12 +38,15 @@ let k t = t.k
 
 let is_complete t = t.complete
 
-let find_encoded t key =
-  match Hashtbl.find_opt t.table key with Some { count; _ } -> Some count | None -> None
+let find_key t key =
+  match Hashtbl.find_opt t.table (Key.id key) with Some { count; _ } -> Some count | None -> None
 
-let find t twig = find_encoded t (Twig.encode twig)
+let find t twig = find_key t (Twig.key twig)
 
-let mem t twig = Hashtbl.mem t.table (Twig.encode twig)
+let find_encoded t enc =
+  match Twig.decode enc with exception Invalid_argument _ -> None | twig -> find t twig
+
+let mem t twig = Hashtbl.mem t.table (Key.id (Twig.key twig))
 
 let entries t = Hashtbl.length t.table
 
@@ -48,25 +55,39 @@ let patterns_per_level t =
   Hashtbl.iter (fun _ { size; _ } -> counts.(size - 1) <- counts.(size - 1) + 1) t.table;
   counts
 
-let fold f t acc = Hashtbl.fold (fun _ { twig; count; _ } acc -> f twig count acc) t.table acc
+let fold f t acc = Hashtbl.fold (fun _ { key; count; _ } acc -> f (Key.twig key) count acc) t.table acc
 
 let level t s =
   let collected =
     Hashtbl.fold
-      (fun _ { twig; size; count } acc -> if size = s then (twig, count) :: acc else acc)
+      (fun _ { key; size; count } acc -> if size = s then (Key.twig key, count) :: acc else acc)
       t.table []
   in
   List.sort (fun (a, _) (b, _) -> Twig.compare a b) collected
 
-let memory_bytes t =
-  Hashtbl.fold (fun key _ acc -> acc + String.length key + 8) t.table 0
+(* Heap footprint of one stored pattern: the canonical encoding string, the
+   interned key block, the canonical twig's nodes (a 4-field record plus one
+   cons cell per child edge), the entry record, and the hash-table bucket.
+   The seed charged only [key length + 8], undercounting the Table 3 /
+   fig10a/c "Utilization" columns by an order of magnitude against the
+   TreeSketches byte budget. *)
+let entry_bytes { key; size; count = _ } =
+  let twig_nodes = size * (Tl_util.Prelude.heap_block_bytes 4 + Tl_util.Prelude.heap_block_bytes 3) in
+  Tl_util.Prelude.heap_string_bytes (Key.encode key)
+  + Tl_util.Prelude.heap_block_bytes 5 (* key block: id, enc, khash, twig + header *)
+  + twig_nodes
+  + Tl_util.Prelude.heap_block_bytes 4 (* entry record *)
+  + Tl_util.Prelude.heap_block_bytes 4 (* bucket cell *)
+
+let memory_bytes t = Hashtbl.fold (fun _ entry acc -> acc + entry_bytes entry) t.table 0
 
 let restrict t ~keep =
   let table = Hashtbl.create (Hashtbl.length t.table) in
   let dropped = ref 0 in
   Hashtbl.iter
-    (fun key ({ twig; size; count } as entry) ->
-      if size <= 2 || keep twig count then Hashtbl.replace table key entry else incr dropped)
+    (fun id ({ key; size; count } as entry) ->
+      if size <= 2 || keep (Key.twig key) count then Hashtbl.replace table id entry
+      else incr dropped)
     t.table;
   { k = t.k; complete = t.complete && !dropped = 0; table }
 
@@ -74,9 +95,9 @@ let merge a b =
   if a.k <> b.k then invalid_arg "Summary.merge: lattice depths differ";
   let table = Hashtbl.copy a.table in
   Hashtbl.iter
-    (fun key entry ->
-      match Hashtbl.find_opt table key with
-      | Some existing -> Hashtbl.replace table key { existing with count = existing.count + entry.count }
-      | None -> Hashtbl.replace table key entry)
+    (fun id entry ->
+      match Hashtbl.find_opt table id with
+      | Some existing -> Hashtbl.replace table id { existing with count = existing.count + entry.count }
+      | None -> Hashtbl.replace table id entry)
     b.table;
   { k = a.k; complete = a.complete && b.complete; table }

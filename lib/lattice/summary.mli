@@ -1,9 +1,12 @@
 (** The lattice summary (§3, §4): occurrence statistics of all small twigs.
 
     A [k]-lattice stores, for every subtree pattern of size [<= k] occurring
-    in the document, its exact selectivity.  Patterns are keyed by canonical
-    encoding in a hash table — the storage layout the paper adopts after
-    finding prefix trees too pointer-chasing-heavy (§4.2).
+    in the document, its exact selectivity.  Patterns are keyed by their
+    interned canonical id ({!Tl_twig.Twig.Key.id}) in a hash table — lookups
+    hash and compare ints, with the canonical encoding kept only inside the
+    stored key for the edges (serialization, rendering).  This refines the
+    storage layout the paper adopts after finding prefix trees too
+    pointer-chasing-heavy (§4.2).
 
     A summary can be {e complete} (it holds every occurring pattern up to
     level [k], so a missing pattern of size [<= k] truly has selectivity 0)
@@ -40,8 +43,13 @@ val is_complete : t -> bool
 val find : t -> Tl_twig.Twig.t -> int option
 (** Stored selectivity of the pattern, canonicalizing as needed. *)
 
+val find_key : t -> Tl_twig.Twig.Key.t -> int option
+(** Lookup by interned canonical key — the estimators' hot path; one int
+    hash, no string traffic. *)
+
 val find_encoded : t -> string -> int option
-(** Lookup by pre-computed canonical encoding (the estimators' hot path). *)
+(** Lookup by encoding string (decodes and canonicalizes; [None] on
+    malformed input).  Edge convenience — prefer {!find_key} in loops. *)
 
 val mem : t -> Tl_twig.Twig.t -> bool
 
@@ -57,8 +65,12 @@ val level : t -> int -> (Tl_twig.Twig.t * int) list
 (** Stored patterns of one size, in canonical order. *)
 
 val memory_bytes : t -> int
-(** Storage estimate used for the paper's "Utilization (KiloBytes)" column:
-    each entry is charged its canonical key bytes plus one 8-byte count. *)
+(** Storage estimate used for the paper's "Utilization (KiloBytes)" column.
+    Each entry is charged its full heap footprint: the canonical encoding
+    string (header + padded payload), the interned key block, the canonical
+    twig's nodes, the entry record, and its hash-table bucket.  (The seed
+    charged only [key length + 8] per entry, undercounting by roughly an
+    order of magnitude.) *)
 
 val restrict : t -> keep:(Tl_twig.Twig.t -> int -> bool) -> t
 (** Drop entries failing [keep]; the result is marked incomplete unless

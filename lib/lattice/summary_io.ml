@@ -53,6 +53,8 @@ let load ?intern text =
   | [] -> fail "empty input"
   | header :: rest ->
     let k, complete, nlabels = parse_header header in
+    if k < 2 then fail "invalid lattice depth k=%d (must be >= 2)" k;
+    if nlabels < 0 then fail "invalid label count labels=%d (must be >= 0)" nlabels;
     let rec take n acc = function
       | rest when n = 0 -> (List.rev acc, rest)
       | [] -> fail "truncated label block"
@@ -69,6 +71,7 @@ let load ?intern text =
           if id < 0 || id >= Array.length mapping then fail "label id %d out of range" id
           else mapping.(id)
     in
+    let seen = Hashtbl.create 64 in
     let patterns =
       List.filter_map
         (fun line ->
@@ -85,7 +88,11 @@ let load ?intern text =
               let twig =
                 try Twig.decode key with Invalid_argument m -> fail "bad twig key: %s" m
               in
-              Some (Twig.map_labels remap twig, count))
+              let twig = Twig.map_labels remap twig in
+              let id = Twig.Key.id (Twig.key twig) in
+              if Hashtbl.mem seen id then fail "duplicate entry %S" key;
+              Hashtbl.replace seen id ();
+              Some (twig, count))
         entry_lines
     in
     (Summary.of_patterns ~k ~complete patterns, names)

@@ -11,7 +11,7 @@ type result = { max_size : int; levels : twig_count list array }
 let sub_twigs_occur prev_level candidate =
   let ix = Twig.index candidate in
   List.for_all
-    (fun i -> Hashtbl.mem prev_level (Twig.encode (Twig.remove ix i)))
+    (fun i -> Hashtbl.mem prev_level (Twig.Key.id (Twig.key (Twig.remove ix i))))
     (Twig.degree_one ix)
 
 (* Candidate counting is the miner's hot loop and each candidate is
@@ -47,11 +47,14 @@ let mine ?pool ctx ~max_size =
     (fun (lp, lc) -> extensions.(lp) <- lc :: extensions.(lp))
     (Data_tree.edge_label_pairs tree);
   Array.iteri (fun lp kids -> extensions.(lp) <- List.sort_uniq compare kids) extensions;
-  (* Levels 2..max_size by rightmost-style extension of every node. *)
-  let prev_table = Hashtbl.create 256 in
+  (* Levels 2..max_size by rightmost-style extension of every node.  Dedup
+     tables key on interned canonical ids — candidate generation is the one
+     place the miner used to build (and hash) an encoding string per
+     candidate per extension site. *)
+  let prev_table : (int, unit) Hashtbl.t = Hashtbl.create 256 in
   let reset_prev level =
     Hashtbl.reset prev_table;
-    List.iter (fun (t, _) -> Hashtbl.replace prev_table (Twig.encode t) ()) level
+    List.iter (fun (t, _) -> Hashtbl.replace prev_table (Twig.Key.id (Twig.key t)) ()) level
   in
   let rec grow_level s =
     if s <= max_size then begin
@@ -66,7 +69,7 @@ let mine ?pool ctx ~max_size =
                   List.iter
                     (fun lc ->
                       let candidate = Twig.grow ix i lc in
-                      let key = Twig.encode candidate in
+                      let key = Twig.Key.id (Twig.key candidate) in
                       if not (Hashtbl.mem candidates key) then Hashtbl.replace candidates key candidate)
                     extensions.(lp))
                 ix.Twig.node_labels)

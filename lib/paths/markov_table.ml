@@ -40,8 +40,19 @@ let order t = t.table_order
 
 let entries t = Hashtbl.length t.table
 
+(* One table entry's heap footprint: the key string (header + padded
+   payload — NOT 8 bytes per path component, which is what the seed
+   charged via [key_length]), the boxed count slot, and the bucket cell.
+   [prune] decrements by the same quantity, so its budget arithmetic stays
+   consistent with this audit. *)
+let entry_bytes k =
+  Tl_util.Prelude.heap_string_bytes k + Tl_util.Prelude.heap_block_bytes 3
+
+let star_bytes = Tl_util.Prelude.heap_block_bytes 2 + Tl_util.Prelude.heap_block_bytes 3
+
 let memory_bytes t =
-  Hashtbl.fold (fun k _ acc -> acc + (8 * key_length k) + 8) t.table 0
+  Hashtbl.fold (fun k _ acc -> acc + entry_bytes k) t.table 0
+  + Hashtbl.fold (fun _ _ acc -> acc + star_bytes) t.stars 0
 
 let lookup t labels =
   let k = key labels in
@@ -95,9 +106,15 @@ let prune t ~budget_bytes =
         if !current <= budget_bytes then ()
         else begin
           Hashtbl.remove pruned.table k;
-          current := !current - ((8 * len) + 8);
+          current := !current - entry_bytes k;
+          (* An eviction that opens a fresh star bucket also costs that
+             bucket's bytes against the budget. *)
           let existing =
-            Option.value ~default:{ star_count = 0; star_total = 0 } (Hashtbl.find_opt pruned.stars len)
+            match Hashtbl.find_opt pruned.stars len with
+            | Some e -> e
+            | None ->
+              current := !current + star_bytes;
+              { star_count = 0; star_total = 0 }
           in
           Hashtbl.replace pruned.stars len
             { star_count = existing.star_count + 1; star_total = existing.star_total + count };

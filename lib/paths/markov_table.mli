@@ -26,8 +26,11 @@ val entries : t -> int
 (** Stored paths (star buckets not included). *)
 
 val memory_bytes : t -> int
-(** 8 bytes per stored label id plus 8 per count, matching the lattice
-    summary's accounting. *)
+(** Heap footprint estimate: per entry the key string (header + padded
+    payload), the boxed count, and the bucket cell, plus the star buckets —
+    the same audit discipline as {!Tl_lattice.Summary.memory_bytes}.
+    {!prune} decrements its running budget by exactly this per-entry
+    quantity, so budgets mean real bytes. *)
 
 val lookup : t -> int list -> float
 (** Stored (or star-estimated) count of a path of length [<= order]; exact

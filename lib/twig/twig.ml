@@ -1,8 +1,34 @@
-type t = { label : int; children : t list }
+[@@@ocaml.warning "-30"] (* [key] and [indexed] both carry a [twig] field *)
 
-let leaf label = { label; children = [] }
+type t = { label : int; children : t list; mutable memo : memo }
 
-let node label children = { label; children }
+and memo =
+  | Unknown
+  | Self of key  (** this node is the hash-consed canonical representative *)
+  | Canon of t  (** the canonical representative (whose memo is [Self]) *)
+
+and key = {
+  id : int;
+  enc : string;
+  khash : int;
+  twig : t;
+  ksize : int;
+  ix : indexed option Atomic.t;
+      (** node-indexed view of [twig], built at most once per distinct
+          canonical twig (reps are pinned, so this is a pure value) *)
+}
+
+and indexed = {
+  twig : t;
+  node_labels : int array;
+  parents : int array;
+  kids : int list array;
+  subtrees : t array;
+}
+
+let leaf label = { label; children = []; memo = Unknown }
+
+let node label children = { label; children; memo = Unknown }
 
 let rec size t = List.fold_left (fun acc c -> acc + size c) 1 t.children
 
@@ -14,32 +40,150 @@ let labels t =
   let rec go acc t = List.fold_left go (t.label :: acc) t.children in
   List.rev (go [] t)
 
-(* Canonicalization sorts children by encoding bottom-up.  To avoid
-   re-encoding subtrees quadratically, [canon] returns the encoding along
-   with the rebuilt node. *)
-let rec canon t =
-  let kids = List.map canon t.children in
-  let kids = List.sort (fun (_, e1) (_, e2) -> String.compare e1 e2) kids in
-  let enc =
-    match kids with
-    | [] -> string_of_int t.label
-    | _ ->
-      let inner = String.concat "," (List.map snd kids) in
-      string_of_int t.label ^ "(" ^ inner ^ ")"
+(* --- hash-consed canonical keys ------------------------------------------ *)
+
+(* Every distinct canonical twig is interned once, process-wide, into a
+   dense id; the registry also pins one canonical representative twig per
+   id.  A node caches the outcome of its own canonicalization in [memo], so
+   [encode]/[compare]/[hash]/[is_canonical] are O(1) after first touch.
+
+   The registry is keyed structurally, on [(label, canonical child ids)],
+   not on the encoding string: a twig is determined by its label and the
+   identities of its (canonically ordered) children, so interning a node
+   whose children are already keyed — the common case in [induced]/
+   [remove]/[grow], which rebuild only a spine over untouched subtrees —
+   probes the table with a handful of ints and allocates no string.  The
+   encoding is materialized once per distinct twig, at first intern, and
+   cached in the key.
+
+   Domain-safety: the registry is guarded by a mutex, taken only on a memo
+   miss.  [memo] itself is written without the lock — concurrent writers
+   race only to store equivalent values (the registry hands every domain
+   the same key for a given structure), which the OCaml 5 memory model
+   resolves safely. *)
+
+module Node_interner = Tl_util.Interner.Make (struct
+  type t = int * int array
+  (** label, child key ids in canonical (encoding) order *)
+
+  let equal (l1, c1) (l2, c2) = l1 = l2 && c1 = c2
+
+  let hash = Hashtbl.hash
+end)
+
+let registry_lock = Mutex.create ()
+
+let registry = Node_interner.create ()
+
+let registry_keys : key array ref = ref [||]
+
+(* [candidate] may serve as the pinned representative when the structure is
+   new: its children are already the sorted canonical representatives. *)
+let intern_key ~skey ~kid_keys ~label ~candidate =
+  Mutex.lock registry_lock;
+  let k =
+    match Node_interner.find registry skey with
+    | Some id -> !registry_keys.(id)
+    | None ->
+      let id = Node_interner.intern registry skey in
+      (* First intern of this structure: materialize the encoding, once. *)
+      let enc =
+        match kid_keys with
+        | [] -> string_of_int label
+        | _ ->
+          let buf = Buffer.create 32 in
+          Buffer.add_string buf (string_of_int label);
+          Buffer.add_char buf '(';
+          List.iteri
+            (fun i kk ->
+              if i > 0 then Buffer.add_char buf ',';
+              Buffer.add_string buf kk.enc)
+            kid_keys;
+          Buffer.add_char buf ')';
+          Buffer.contents buf
+      in
+      let rep =
+        match candidate with
+        | Some rep -> rep
+        | None -> { label; children = List.map (fun kk -> kk.twig) kid_keys; memo = Unknown }
+      in
+      let ksize = List.fold_left (fun acc kk -> acc + kk.ksize) 1 kid_keys in
+      let k = { id; enc; khash = Hashtbl.hash enc; twig = rep; ksize; ix = Atomic.make None } in
+      rep.memo <- Self k;
+      if id >= Array.length !registry_keys then begin
+        let bigger = Array.make (max 64 (2 * Array.length !registry_keys)) k in
+        Array.blit !registry_keys 0 bigger 0 id;
+        registry_keys := bigger
+      end;
+      !registry_keys.(id) <- k;
+      k
   in
-  ({ label = t.label; children = List.map fst kids }, enc)
+  Mutex.unlock registry_lock;
+  k
 
-let canonicalize t = fst (canon t)
+let rec key_of t =
+  match t.memo with
+  | Self k -> k
+  | Canon rep -> ( match rep.memo with Self k -> k | Unknown | Canon _ -> assert false)
+  | Unknown ->
+    let kid_keys = List.map key_of t.children in
+    let kid_keys = List.sort (fun k1 k2 -> String.compare k1.enc k2.enc) kid_keys in
+    let skey = (t.label, Array.of_list (List.map (fun kk -> kk.id) kid_keys)) in
+    let candidate =
+      (* same length by construction: [kid_keys] is a permutation of the
+         children's keys *)
+      if List.for_all2 ( == ) t.children (List.map (fun kk -> kk.twig) kid_keys) then Some t
+      else None
+    in
+    let k = intern_key ~skey ~kid_keys ~label:t.label ~candidate in
+    (match t.memo with
+    | Self _ -> () (* [t] became the pinned representative inside the lock *)
+    | Unknown | Canon _ -> if k.twig != t then t.memo <- Canon k.twig);
+    k
 
-let encode t = snd (canon t)
+let canonicalize t = (key_of t).twig
 
-let is_canonical t = canonicalize t = t
+let encode t = (key_of t).enc
 
-let compare a b = String.compare (encode a) (encode b)
+let is_canonical t = (key_of t).twig == t
 
-let equal a b = compare a b = 0
+let compare a b =
+  let ka = key_of a and kb = key_of b in
+  if ka.id = kb.id then 0 else String.compare ka.enc kb.enc
 
-let hash t = Hashtbl.hash (encode t)
+let equal a b = (key_of a).id = (key_of b).id
+
+let hash t = (key_of t).khash
+
+module Key = struct
+  type twig = t
+
+  type nonrec t = key
+
+  let of_twig = key_of
+
+  let twig k = k.twig
+
+  let id k = k.id
+
+  let encode k = k.enc
+
+  let equal a b = a.id = b.id
+
+  let compare a b = if a.id = b.id then 0 else String.compare a.enc b.enc
+
+  let hash k = k.khash
+
+  let size k = k.ksize
+
+  let interned () =
+    Mutex.lock registry_lock;
+    let n = Node_interner.size registry in
+    Mutex.unlock registry_lock;
+    n
+end
+
+let key = key_of
 
 let decode s =
   let n = String.length s in
@@ -63,9 +207,9 @@ let decode s =
       (match peek () with
       | Some ')' ->
         incr pos;
-        { label; children = List.rev kids }
+        node label (List.rev kids)
       | _ -> fail "expected ')'")
-    | _ -> { label; children = [] }
+    | _ -> leaf label
   and scan_kids acc =
     let child = scan_node () in
     match peek () with
@@ -78,7 +222,7 @@ let decode s =
   if !pos <> n then fail "trailing input";
   t
 
-let rec map_labels f t = { label = f t.label; children = List.map (map_labels f) t.children }
+let rec map_labels f t = node (f t.label) (List.map (map_labels f) t.children)
 
 let rec is_path t =
   match t.children with [] -> true | [ c ] -> is_path c | _ :: _ :: _ -> false
@@ -141,30 +285,36 @@ let pp ~names t =
 
 (* --- node-indexed view --------------------------------------------------- *)
 
-type indexed = {
-  twig : t;
-  node_labels : int array;
-  parents : int array;
-  kids : int list array;
-}
-
-let index t =
-  let t = canonicalize t in
-  let n = size t in
+(* Built once per distinct canonical twig and cached on its key ([Atomic]
+   so a racing second builder publishes an equivalent value safely); every
+   later [index] is one atomic load.  Consumers must treat the arrays as
+   read-only. *)
+let build_index t n =
   let node_labels = Array.make n 0 in
   let parents = Array.make n (-1) in
   let kids = Array.make n [] in
+  let subtrees = Array.make n t in
   let next = ref 0 in
   let rec walk parent node =
     let id = !next in
     incr next;
     node_labels.(id) <- node.label;
     parents.(id) <- parent;
+    subtrees.(id) <- node;
     if parent >= 0 then kids.(parent) <- kids.(parent) @ [ id ];
     List.iter (walk id) node.children
   in
   walk (-1) t;
-  { twig = t; node_labels; parents; kids }
+  { twig = t; node_labels; parents; kids; subtrees }
+
+let index t =
+  let k = key_of t in
+  match Atomic.get k.ix with
+  | Some ix -> ix
+  | None ->
+    let ix = build_index k.twig k.ksize in
+    Atomic.set k.ix (Some ix);
+    ix
 
 let degree_one ix =
   let n = Array.length ix.node_labels in
@@ -177,11 +327,34 @@ let degree_one ix =
   !result
 
 (* Rebuild the twig from the index arrays, excluding a set of nodes and
-   optionally re-rooting. *)
+   optionally re-rooting.  [root] is always included; below it a node
+   survives only when [keep] holds for it and its whole ancestor chain up
+   to [root].  Fully surviving subtrees are returned as the index's
+   original (already canonical, already keyed) nodes, so only the spine of
+   removed nodes is re-encoded by the final [canonicalize]. *)
 let rebuild ix ~keep ~root =
+  let n = Array.length ix.node_labels in
+  let eff = Array.make n false in
+  for i = 0 to n - 1 do
+    eff.(i) <- i = root || (ix.parents.(i) >= 0 && eff.(ix.parents.(i)) && keep i)
+  done;
+  let kept = Array.make n 0 in
+  let total = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    let k = ref (if eff.(i) then 1 else 0) and s = ref 1 in
+    List.iter
+      (fun c ->
+        k := !k + kept.(c);
+        s := !s + total.(c))
+      ix.kids.(i);
+    kept.(i) <- !k;
+    total.(i) <- !s
+  done;
   let rec build i =
-    let children = List.filter_map (fun c -> if keep c then Some (build c) else None) ix.kids.(i) in
-    { label = ix.node_labels.(i); children }
+    if eff.(i) && kept.(i) = total.(i) then ix.subtrees.(i)
+    else
+      node ix.node_labels.(i)
+        (List.filter_map (fun c -> if eff.(c) then Some (build c) else None) ix.kids.(i))
   in
   canonicalize (build root)
 
@@ -220,9 +393,22 @@ let induced ix nodes =
 let grow ix i l =
   let n = Array.length ix.node_labels in
   if i < 0 || i >= n then invalid_arg "Twig.grow: index out of bounds";
+  (* Only the ancestor chain of [i] gets a new shape; every subtree hanging
+     off it is reused as-is. *)
+  let on_spine = Array.make n false in
+  let rec mark j =
+    if j >= 0 && not on_spine.(j) then begin
+      on_spine.(j) <- true;
+      mark ix.parents.(j)
+    end
+  in
+  mark i;
   let rec build j =
-    let children = List.map build ix.kids.(j) in
-    let children = if j = i then leaf l :: children else children in
-    { label = ix.node_labels.(j); children }
+    if not on_spine.(j) then ix.subtrees.(j)
+    else begin
+      let children = List.map build ix.kids.(j) in
+      let children = if j = i then leaf l :: children else children in
+      node ix.node_labels.(j) children
+    end
   in
   canonicalize (build 0)

@@ -3,7 +3,8 @@
     A twig is a rooted unordered node-labeled tree.  Labels are interned
     integers (normally shared with a {!Tl_tree.Data_tree.t}'s interner).
     Twigs are small — queries in the paper's workloads have 4 to 9 nodes —
-    so the operations here favour clarity over asymptotics.
+    so the operations here favour clarity over asymptotics, except for the
+    canonical-key machinery, which sits on the estimation hot path.
 
     {2 Canonical form}
 
@@ -11,9 +12,24 @@
     compare equal regardless of how children were listed.  The canonical
     form orders every child list by the children's canonical encodings; the
     encoding (a bracketed string over label ids) is injective on canonical
-    twigs and is used as the lattice hash key. *)
+    twigs.
 
-type t = { label : int; children : t list }
+    {2 Hash-consing}
+
+    Canonicalization results are hash-consed: every distinct canonical
+    encoding is interned process-wide into a dense integer id (a {!Key.t}),
+    and each node caches its own key after first touch.  {!encode},
+    {!compare}, {!equal}, {!hash} and {!is_canonical} are therefore O(1)
+    amortized, and the derived-twig operations ({!induced}, {!remove},
+    {!grow}) re-encode only the nodes they rebuild, merging the cached
+    encodings of untouched subtrees.  The registry is append-only and
+    mutex-guarded, so twigs may be keyed concurrently from a
+    {!Tl_util.Pool} domain pool. *)
+
+type memo
+(** Per-node canonicalization cache; opaque.  Fresh nodes start unkeyed. *)
+
+type t = private { label : int; children : t list; mutable memo : memo }
 
 val leaf : int -> t
 
@@ -32,23 +48,73 @@ val labels : t -> int list
 (** All labels, in preorder, with repetitions. *)
 
 val canonicalize : t -> t
-(** Sort every child list by canonical encoding, bottom-up.  Idempotent. *)
+(** The hash-consed canonical representative: children sorted by canonical
+    encoding, bottom-up.  Idempotent; structurally equal twigs map to the
+    {e same} (physically shared) representative. *)
 
 val is_canonical : t -> bool
+(** True exactly for hash-consed representatives (every {!canonicalize},
+    {!induced}, {!remove} and {!grow} result).  A structurally sorted node
+    built by hand is keyed on first touch and then shares its
+    representative, but is not itself [is_canonical]. *)
 
 val encode : t -> string
-(** Canonical key: canonicalizes, then prints as e.g. ["3(1,4(2))"]. *)
+(** Canonical key: canonicalizes, then prints as e.g. ["3(1,4(2))"].
+    Cached — O(1) after the node's first touch. *)
 
 val decode : string -> t
 (** Inverse of {!encode}.  Raises [Invalid_argument] on malformed input.
     The result is canonical iff the input was produced by {!encode}. *)
 
 val compare : t -> t -> int
-(** Total order agreeing with structural equality modulo sibling order. *)
+(** Total order agreeing with structural equality modulo sibling order
+    (lexicographic on canonical encodings, as the seed string path). *)
 
 val equal : t -> t -> bool
 
 val hash : t -> int
+(** Hash of the canonical encoding; cached. *)
+
+(** {2 Interned canonical keys}
+
+    A {!Key.t} names one canonical twig: a dense process-wide integer id
+    plus its cached encoding.  Summaries, estimator memos, adaptive caches
+    and miner dedup tables key on {!Key.id} so their hot paths hash and
+    compare ints; {!Key.encode} recovers the string form for the edges
+    (serialization, probes, rendering) without re-canonicalizing. *)
+module Key : sig
+  type twig = t
+
+  type t
+
+  val of_twig : twig -> t
+  (** Canonicalize and intern; O(1) for already-keyed nodes. *)
+
+  val twig : t -> twig
+  (** The canonical representative twig. *)
+
+  val id : t -> int
+  (** Dense process-wide id; equal twigs (modulo sibling order) share it. *)
+
+  val encode : t -> string
+  (** The canonical encoding, without recomputation. *)
+
+  val equal : t -> t -> bool
+
+  val compare : t -> t -> int
+  (** Same order as {!Twig.compare} (lexicographic on encodings). *)
+
+  val hash : t -> int
+
+  val size : t -> int
+  (** Node count of the keyed twig; computed at intern time, O(1). *)
+
+  val interned : unit -> int
+  (** Number of distinct canonical twigs interned so far, process-wide. *)
+end
+
+val key : t -> Key.t
+(** Alias of {!Key.of_twig}. *)
 
 val map_labels : (int -> int) -> t -> t
 (** Relabel; the result is {e not} re-canonicalized. *)
@@ -81,10 +147,16 @@ type indexed = private {
   node_labels : int array;
   parents : int array;  (** [-1] for the root *)
   kids : int list array;  (** children, in canonical preorder *)
+  subtrees : t array;
+      (** the (canonical, keyed) subtree rooted at each preorder index —
+          reused wholesale by {!induced}/{!remove}/{!grow} when untouched *)
 }
 
 val index : t -> indexed
-(** Canonicalizes, then indexes. *)
+(** Canonicalizes, then indexes.  The view is built at most once per
+    distinct canonical twig — it is cached on the twig's {!Key.t}, so at
+    steady state this is a key-field read plus one atomic load.  Treat the
+    arrays as read-only. *)
 
 val degree_one : indexed -> int list
 (** Preorder indices of nodes of degree 1: the leaves, plus the root when it

@@ -2,12 +2,13 @@ module Data_tree = Tl_tree.Data_tree
 
 let occurrences tree ~max_size =
   if max_size < 1 then invalid_arg "Twig_enum.occurrences: max_size must be >= 1";
-  let tally : (string, Twig.t * int) Hashtbl.t = Hashtbl.create 256 in
+  let tally : (int, Twig.t * int) Hashtbl.t = Hashtbl.create 256 in
   let record twig =
-    let key = Twig.encode twig in
-    match Hashtbl.find_opt tally key with
-    | Some (t, c) -> Hashtbl.replace tally key (t, c + 1)
-    | None -> Hashtbl.replace tally key (Twig.canonicalize twig, 1)
+    let key = Twig.key twig in
+    let id = Twig.Key.id key in
+    match Hashtbl.find_opt tally id with
+    | Some (t, c) -> Hashtbl.replace tally id (t, c + 1)
+    | None -> Hashtbl.replace tally id (Twig.Key.twig key, 1)
   in
   (* All shapes rooted at [v] with at most [budget] nodes, via independent
      include/choose decisions per child — each connected node subset is

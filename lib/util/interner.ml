@@ -1,30 +1,75 @@
-type t = { ids : (string, int) Hashtbl.t; mutable rev : string array; mutable next : int }
+module type HASHED = sig
+  type t
 
-let create () = { ids = Hashtbl.create 64; rev = Array.make 64 ""; next = 0 }
+  val equal : t -> t -> bool
 
-let intern t s =
-  match Hashtbl.find_opt t.ids s with
-  | Some id -> id
-  | None ->
-    let id = t.next in
-    if id >= Array.length t.rev then begin
-      let bigger = Array.make (2 * Array.length t.rev) "" in
-      Array.blit t.rev 0 bigger 0 id;
-      t.rev <- bigger
-    end;
-    t.rev.(id) <- s;
-    Hashtbl.replace t.ids s id;
-    t.next <- id + 1;
-    id
+  val hash : t -> int
+end
 
-let find t s = Hashtbl.find_opt t.ids s
+module Make (H : HASHED) = struct
+  module Tbl = Hashtbl.Make (H)
+
+  type value = H.t
+
+  type t = { ids : int Tbl.t; mutable rev : H.t array; mutable next : int }
+
+  let create () = { ids = Tbl.create 64; rev = [||]; next = 0 }
+
+  let intern t v =
+    match Tbl.find_opt t.ids v with
+    | Some id -> id
+    | None ->
+      let id = t.next in
+      if id >= Array.length t.rev then begin
+        (* Seed the growth with [v] itself so no dummy element is needed. *)
+        let bigger = Array.make (max 64 (2 * Array.length t.rev)) v in
+        Array.blit t.rev 0 bigger 0 id;
+        t.rev <- bigger
+      end;
+      t.rev.(id) <- v;
+      Tbl.replace t.ids v id;
+      t.next <- id + 1;
+      id
+
+  let find t v = Tbl.find_opt t.ids v
+
+  let value t id =
+    if id < 0 || id >= t.next then invalid_arg (Printf.sprintf "Interner.value: unknown id %d" id);
+    t.rev.(id)
+
+  let size t = t.next
+
+  let values t = Array.sub t.rev 0 t.next
+
+  let copy t = { ids = Tbl.copy t.ids; rev = Array.copy t.rev; next = t.next }
+end
+
+(* The original string interface, now an instance of the functor.  [name]
+   keeps its historical error message. *)
+
+module Strings = Make (struct
+  type t = string
+
+  let equal = String.equal
+
+  let hash = Hashtbl.hash
+end)
+
+type t = Strings.t
+
+let create = Strings.create
+
+let intern = Strings.intern
+
+let find = Strings.find
 
 let name t id =
-  if id < 0 || id >= t.next then invalid_arg (Printf.sprintf "Interner.name: unknown id %d" id);
-  t.rev.(id)
+  if id < 0 || id >= Strings.size t then
+    invalid_arg (Printf.sprintf "Interner.name: unknown id %d" id);
+  Strings.value t id
 
-let size t = t.next
+let size = Strings.size
 
-let names t = Array.sub t.rev 0 t.next
+let names = Strings.values
 
-let copy t = { ids = Hashtbl.copy t.ids; rev = Array.copy t.rev; next = t.next }
+let copy = Strings.copy

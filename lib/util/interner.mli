@@ -1,9 +1,50 @@
-(** Bidirectional string interning.
+(** Bidirectional interning of hashable values into dense integer ids.
 
-    Element tags are interned into dense integer ids so that trees, twigs,
-    and lattice keys compare and hash on ints.  Ids are allocated in first-
-    seen order starting from 0, which also makes serialized summaries
-    stable for a given input document. *)
+    Ids are allocated in first-seen order starting from 0, which makes
+    id assignment deterministic for a given insertion sequence (and hence
+    serialized summaries stable for a given input document).
+
+    The functor {!Make} interns any hashable type; the flat [t] interface
+    below is the original string instance, used for element tags so that
+    trees, twigs, and lattice keys compare and hash on ints.
+    {!Tl_twig.Twig.Key} instantiates {!Make} over canonical twig encodings
+    to hash-cons twigs. *)
+
+module type HASHED = sig
+  type t
+
+  val equal : t -> t -> bool
+
+  val hash : t -> int
+end
+
+module Make (H : HASHED) : sig
+  type value = H.t
+
+  type t
+
+  val create : unit -> t
+
+  val intern : t -> value -> int
+  (** [intern t v] returns the id of [v], allocating the next dense id if
+      [v] was never seen. *)
+
+  val find : t -> value -> int option
+  (** Lookup without allocating an id. *)
+
+  val value : t -> int -> value
+  (** Inverse of {!intern}.  Raises [Invalid_argument] for an unallocated
+      id. *)
+
+  val size : t -> int
+
+  val values : t -> value array
+  (** All interned values, indexed by id. *)
+
+  val copy : t -> t
+end
+
+(** {2 String instance} *)
 
 type t
 

@@ -43,3 +43,11 @@ let string_contains ~needle haystack =
   let rec at i j = j = n || (haystack.[i + j] = needle.[j] && at i (j + 1)) in
   let rec go i = i + n <= h && (at i 0 || go (i + 1)) in
   n = 0 || go 0
+
+let word_bytes = 8
+
+let heap_string_bytes s =
+  (* header word + the padded payload (content, NUL terminator, padding). *)
+  word_bytes * (1 + ((String.length s / word_bytes) + 1))
+
+let heap_block_bytes fields = word_bytes * (1 + fields)

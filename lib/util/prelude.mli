@@ -25,3 +25,15 @@ val clamp : lo:'a -> hi:'a -> 'a -> 'a
 
 val string_contains : needle:string -> string -> bool
 (** Naive substring search; the empty needle is found everywhere. *)
+
+val word_bytes : int
+(** Bytes per OCaml heap word on this (64-bit) platform. *)
+
+val heap_string_bytes : string -> int
+(** Heap footprint of a string block: header word plus the padded payload.
+    Used by the summary memory audits so the paper's "Utilization"
+    comparisons charge what the runtime actually allocates. *)
+
+val heap_block_bytes : int -> int
+(** Heap footprint of a block with [fields] words (header included) — a
+    record, a tuple, or one hash-table bucket cell. *)

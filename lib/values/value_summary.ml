@@ -41,10 +41,19 @@ let build ?(top = 32) vtree =
   in
   { stats }
 
+(* Full heap footprint: per label the stats record and its histogram
+   table, per histogram entry the value string (header + padded payload)
+   and its bucket cell.  The seed charged [String.length value + 8] per
+   entry and a flat 16 per label, omitting headers, padding, and buckets
+   entirely. *)
 let memory_bytes t =
+  let open Tl_util.Prelude in
   Array.fold_left
     (fun acc s ->
-      Hashtbl.fold (fun value _ acc -> acc + String.length value + 8) s.histogram (acc + 16))
+      let per_label = heap_block_bytes 4 + heap_block_bytes (max 1 (Hashtbl.length s.histogram)) in
+      Hashtbl.fold
+        (fun value _ acc -> acc + heap_string_bytes value + heap_block_bytes 3)
+        s.histogram (acc + per_label))
     0 t.stats
 
 let value_probability t label value =

@@ -19,6 +19,10 @@ val build : ?top:int -> Value_tree.t -> t
     Raises [Invalid_argument] when [top < 0]. *)
 
 val memory_bytes : t -> int
+(** Heap footprint estimate: per label the stats record and histogram
+    table, per histogram entry the value string (header + padded payload)
+    and its bucket — the same audit discipline as
+    {!Tl_lattice.Summary.memory_bytes}. *)
 
 val value_probability : t -> int -> string -> float
 (** [value_probability t label v]: estimated fraction of [label]-nodes

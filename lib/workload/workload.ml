@@ -30,7 +30,7 @@ let positive ~seed ctx ~size ~count =
     match Twig_enum.random_subtree rng tree ~size with
     | None -> ()
     | Some twig ->
-      let key = Twig.encode twig in
+      let key = Twig.Key.id (Twig.key twig) in
       if not (Hashtbl.mem seen key) then begin
         Hashtbl.replace seen key ();
         let truth = Match_count.selectivity ctx twig in
@@ -103,7 +103,7 @@ let negative_gen ?kind ~seed ctx ~base ~count () =
       match mutate ?kind rng label_weights source.twig with
       | None -> ()
       | Some mutant ->
-        let key = Twig.encode mutant in
+        let key = Twig.Key.id (Twig.key mutant) in
         if not (Hashtbl.mem seen key) then begin
           Hashtbl.replace seen key ();
           if Match_count.selectivity ctx mutant = 0 then begin

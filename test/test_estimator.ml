@@ -286,6 +286,106 @@ let test_first_level_votes () =
   let stored = Helpers.twig_of_string tree "b(c,d)" in
   Alcotest.(check (list (float 1e-6))) "stored singleton" [ 4.0 ] (Estimator.first_level_votes s stored)
 
+(* --- feedback threading into votes and intervals ------------------------------------------ *)
+
+let test_votes_respect_extra () =
+  let tree = Helpers.tree_of Helpers.fig11_spec in
+  let s = Summary.build ~k:3 tree in
+  let twig = Helpers.twig_of_string tree "a(b(c,d))" in
+  let root_key = Twig.key twig in
+  let extra k = if Twig.Key.equal k root_key then Some 9.0 else None in
+  Alcotest.(check (list (float 1e-9))) "extra wins at top level" [ 9.0 ]
+    (Estimator.first_level_votes ~extra s twig);
+  let interval = Estimator.estimate_interval ~extra s twig in
+  close "interval low" 9.0 interval.Estimator.low;
+  close "interval best" 9.0 interval.Estimator.best;
+  close "interval high" 9.0 interval.Estimator.high
+
+let test_interval_contains_extra_estimate () =
+  (* Seed bug: a feedback count for a SUB-twig moved [estimate ~extra] but
+     not the votes, so the adaptive estimate could fall outside its own
+     interval. *)
+  let tree = Helpers.tree_of Helpers.fig11_spec in
+  let s = Summary.build ~k:3 tree in
+  let twig = Helpers.twig_of_string tree "a(b(c,d))" in
+  let sub_key = Twig.key (Helpers.twig_of_string tree "a(b(c))") in
+  let extra k = if Twig.Key.equal k sub_key then Some 2.5 else None in
+  let est = Estimator.estimate ~extra s Estimator.Recursive_voting twig in
+  let interval = Estimator.estimate_interval ~extra s twig in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate %g inside [%g, %g]" est interval.Estimator.low interval.Estimator.high)
+    true
+    (interval.Estimator.low <= est +. 1e-9 && est <= interval.Estimator.high +. 1e-9)
+
+(* --- differential: interned-key path == seed string path ---------------------------------- *)
+
+module Baseline = Tl_core.Baseline
+
+let bit_identical a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+(* One extra source per document: exact counts for a few random subtrees, as
+   {!Tl_core.Adaptive} would have cached them, exposed both string-keyed
+   (baseline) and key-keyed (estimator). *)
+let feedback_source ctx tree rng =
+  let table = Hashtbl.create 8 in
+  for _ = 1 to 4 do
+    match Tl_twig.Twig_enum.random_subtree rng tree ~size:5 with
+    | None -> ()
+    | Some tw ->
+      Hashtbl.replace table (Twig.encode tw) (float_of_int (Match_count.selectivity ctx tw))
+    | exception Invalid_argument _ -> ()
+  done;
+  let by_string enc = Hashtbl.find_opt table enc in
+  let by_key k = Hashtbl.find_opt table (Twig.Key.encode k) in
+  (by_string, by_key)
+
+let prop_bit_identical_to_seed_path =
+  Helpers.qcheck_case ~name:"hash-consed estimation is bit-identical to the seed string path"
+    ~count:40
+    (Helpers.tree_gen ~max_nodes:20)
+    (fun tree ->
+      let ctx = Match_count.create_ctx tree in
+      let s = Summary.build ~k:3 tree in
+      let b = Baseline.of_summary s in
+      let rng = Tl_util.Xorshift.create 97 in
+      let by_string, by_key = feedback_source ctx tree rng in
+      let ok = ref true in
+      for size = 4 to 7 do
+        match Tl_twig.Twig_enum.random_subtree rng tree ~size with
+        | None -> ()
+        | Some twig ->
+          List.iter
+            (fun scheme ->
+              let fresh = Estimator.estimate s scheme twig in
+              let seed = Baseline.estimate b scheme twig in
+              if not (bit_identical fresh seed) then ok := false;
+              let fresh_x = Estimator.estimate ~extra:by_key s scheme twig in
+              let seed_x = Baseline.estimate ~extra:by_string b scheme twig in
+              if not (bit_identical fresh_x seed_x) then ok := false)
+            Estimator.all_schemes
+      done;
+      !ok)
+
+let prop_bit_identical_on_pruned_summary =
+  Helpers.qcheck_case ~name:"differential holds on pruned (incomplete) summaries too" ~count:20
+    (Helpers.tree_gen ~max_nodes:16)
+    (fun tree ->
+      let s = Derivable.prune (Summary.build ~k:3 tree) ~delta:0.1 in
+      let b = Baseline.of_summary s in
+      let rng = Tl_util.Xorshift.create 53 in
+      let ok = ref true in
+      for _ = 1 to 5 do
+        match Tl_twig.Twig_enum.random_subtree rng tree ~size:5 with
+        | None -> ()
+        | Some twig ->
+          List.iter
+            (fun scheme ->
+              if not (bit_identical (Estimator.estimate s scheme twig) (Baseline.estimate b scheme twig))
+              then ok := false)
+            Estimator.all_schemes
+      done;
+      !ok)
+
 (* --- Treelattice front-end --------------------------------------------------------------- *)
 
 let test_frontend_basics () =
@@ -407,6 +507,14 @@ let () =
           Alcotest.test_case "first level votes" `Quick test_first_level_votes;
           Alcotest.test_case "estimate interval" `Quick test_estimate_interval;
           prop_interval_ordered;
+          Alcotest.test_case "votes respect extra" `Quick test_votes_respect_extra;
+          Alcotest.test_case "interval contains adaptive estimate" `Quick
+            test_interval_contains_extra_estimate;
+        ] );
+      ( "differential",
+        [
+          prop_bit_identical_to_seed_path;
+          prop_bit_identical_on_pruned_summary;
         ] );
       ( "frontend",
         [

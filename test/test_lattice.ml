@@ -155,6 +155,50 @@ let test_io_format_errors () =
   expect_format_error "treelattice-summary v1 k=2 complete=true labels=1\na\nnot-an-entry\n";
   expect_format_error "treelattice-summary v1 k=2 complete=true labels=1\na\n0(1 oops\n"
 
+let test_io_header_validation () =
+  (* Seed regressions: k=0 deferred failure to Summary.of_patterns with a
+     confusing message (or, for an empty summary, loaded "successfully");
+     a negative label count mis-reported as a truncated label block. *)
+  let expect_message fragment text =
+    match Summary_io.load text with
+    | exception Summary_io.Format_error msg ->
+      if not (Tl_util.Prelude.string_contains ~needle:fragment msg) then
+        Alcotest.failf "error %S does not mention %S" msg fragment
+    | _ -> Alcotest.failf "expected format error for %S" text
+  in
+  expect_message "k=0" "treelattice-summary v1 k=0 complete=true labels=0\n";
+  expect_message "k=1" "treelattice-summary v1 k=1 complete=true labels=1\na\n0 3\n";
+  expect_message "labels=-1" "treelattice-summary v1 k=2 complete=true labels=-1\n";
+  expect_message "labels=-5" "treelattice-summary v1 k=2 complete=true labels=-5\na\n0 3\n"
+
+let test_io_duplicate_entries () =
+  let expect_duplicate text =
+    match Summary_io.load text with
+    | exception Summary_io.Format_error msg ->
+      if not (Tl_util.Prelude.string_contains ~needle:"duplicate" msg) then
+        Alcotest.failf "error %S does not mention the duplicate" msg
+    | _ -> Alcotest.failf "expected duplicate-entry error for %S" text
+  in
+  (* Verbatim duplicate (seed: silently last-wins). *)
+  expect_duplicate "treelattice-summary v1 k=2 complete=true labels=2\na\nb\n0 3\n0 4\n";
+  (* Same canonical pattern spelled under two sibling orders. *)
+  expect_duplicate "treelattice-summary v1 k=3 complete=true labels=3\na\nb\nc\n0(1,2) 3\n0(2,1) 5\n"
+
+let test_memory_bytes_tracks_serialized_size () =
+  (* The accounting should stay within a constant factor of the serialized
+     text — the seed charged only [key length + 8] per entry, an
+     order-of-magnitude undercount of the real heap footprint. *)
+  let tree = shop () in
+  let s = summary_of tree 3 in
+  let serialized = String.length (Summary_io.save ~names:(Data_tree.label_names tree) s) in
+  let accounted = Summary.memory_bytes s in
+  Alcotest.(check bool)
+    (Printf.sprintf "heap (%d) >= serialized (%d)" accounted serialized)
+    true (accounted >= serialized);
+  Alcotest.(check bool)
+    (Printf.sprintf "heap (%d) <= 64 * serialized (%d)" accounted serialized)
+    true (accounted <= 64 * serialized)
+
 let test_build_validation () =
   let tree = shop () in
   Alcotest.check_raises "k >= 2" (Invalid_argument "Summary.build: k must be >= 2") (fun () ->
@@ -210,6 +254,10 @@ let () =
           Alcotest.test_case "remap" `Quick test_io_remap;
           Alcotest.test_case "file roundtrip" `Quick test_io_file_roundtrip;
           Alcotest.test_case "format errors" `Quick test_io_format_errors;
+          Alcotest.test_case "header validation" `Quick test_io_header_validation;
+          Alcotest.test_case "duplicate entries" `Quick test_io_duplicate_entries;
+          Alcotest.test_case "memory accounting vs serialized size" `Quick
+            test_memory_bytes_tracks_serialized_size;
           prop_io_roundtrip;
         ] );
     ]

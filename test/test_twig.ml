@@ -69,6 +69,60 @@ let test_hash_agrees_with_equal () =
   let b = Twig.canonicalize (n 0 [ l 1; l 2 ]) in
   Alcotest.(check int) "equal twigs hash alike" (Twig.hash a) (Twig.hash b)
 
+(* --- hash-consed keys ------------------------------------------------------------- *)
+
+let test_key_identity_modulo_order () =
+  let a = Twig.key (n 0 [ l 2; n 1 [ l 3; l 4 ] ]) in
+  let b = Twig.key (n 0 [ n 1 [ l 4; l 3 ]; l 2 ]) in
+  Alcotest.(check int) "same id" (Twig.Key.id a) (Twig.Key.id b);
+  Alcotest.(check bool) "Key.equal" true (Twig.Key.equal a b);
+  Alcotest.(check bool) "same physical representative" true (Twig.Key.twig a == Twig.Key.twig b)
+
+let test_canonicalize_shares_representative () =
+  let a = Twig.canonicalize (n 0 [ l 2; l 1 ]) in
+  let b = Twig.canonicalize (n 0 [ l 1; l 2 ]) in
+  Alcotest.(check bool) "physically shared" true (a == b);
+  Alcotest.(check bool) "idempotent physically" true (Twig.canonicalize a == a)
+
+let test_key_encode_matches () =
+  let tw = n 5 [ n 3 [ l 9 ]; l 1 ] in
+  Alcotest.(check string) "Key.encode = encode" (Twig.encode tw) (Twig.Key.encode (Twig.key tw))
+
+let test_interned_count_stable () =
+  let tw = n 7 [ l 8; n 9 [ l 7 ] ] in
+  ignore (Twig.key tw);
+  let before = Twig.Key.interned () in
+  (* Re-interning the same structure (any sibling order) allocates nothing. *)
+  ignore (Twig.key (n 7 [ n 9 [ l 7 ]; l 8 ]));
+  ignore (Twig.key tw);
+  Alcotest.(check int) "no new ids" before (Twig.Key.interned ());
+  ignore (Twig.key (n 7 [ l 8; n 9 [ l 7 ]; l 800 ]));
+  Alcotest.(check bool) "fresh structure allocates" true (Twig.Key.interned () > before)
+
+let test_key_compare_agrees () =
+  let a = Twig.key (l 1) and b = Twig.key (n 1 [ l 2 ]) in
+  Alcotest.(check int) "Key.compare = Twig.compare"
+    (compare (Twig.compare (Twig.Key.twig a) (Twig.Key.twig b)) 0)
+    (compare (Twig.Key.compare a b) 0)
+
+let prop_key_id_iff_encoding =
+  Helpers.qcheck_case ~name:"key ids coincide exactly when encodings do"
+    QCheck2.Gen.(pair (Helpers.twig_gen ~max_nodes:8 ()) (Helpers.twig_gen ~max_nodes:8 ()))
+    (fun (a, b) ->
+      let ka = Twig.key a and kb = Twig.key b in
+      Twig.Key.id ka = Twig.Key.id kb = String.equal (Twig.encode a) (Twig.encode b))
+
+let prop_derived_twigs_are_canonical =
+  Helpers.qcheck_case ~name:"induced/remove/grow results are pinned representatives"
+    (Helpers.twig_gen ~max_nodes:10 ())
+    (fun tw ->
+      let ix = Twig.index tw in
+      let n = Array.length ix.Twig.node_labels in
+      let all = List.init n Fun.id in
+      Twig.is_canonical (Twig.induced ix all)
+      && List.for_all (fun i -> Twig.is_canonical (Twig.remove ix i)) (Twig.degree_one ix)
+      && Twig.is_canonical (Twig.grow ix 0 42))
+
 (* --- paths ------------------------------------------------------------------------ *)
 
 let test_paths () =
@@ -259,6 +313,16 @@ let () =
           prop_canonicalize_idempotent;
           prop_encode_decode;
           prop_shuffle_invariant;
+        ] );
+      ( "keys",
+        [
+          Alcotest.test_case "identity modulo order" `Quick test_key_identity_modulo_order;
+          Alcotest.test_case "canonicalize shares" `Quick test_canonicalize_shares_representative;
+          Alcotest.test_case "encode agreement" `Quick test_key_encode_matches;
+          Alcotest.test_case "interned count stable" `Quick test_interned_count_stable;
+          Alcotest.test_case "compare agreement" `Quick test_key_compare_agrees;
+          prop_key_id_iff_encoding;
+          prop_derived_twigs_are_canonical;
         ] );
       ( "paths",
         [
