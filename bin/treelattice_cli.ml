@@ -9,6 +9,7 @@
      explain    trace the full decomposition behind one estimate
      xpath      estimate an XPath query (child steps + predicates)
      match      enumerate actual matches of a twig query
+     batch      estimate many queries at once via compiled-plan caching
      plan       naive vs estimate-guided join plans
      values     estimate a twig query with value predicates
      prune      delta-prune a summary file
@@ -392,6 +393,142 @@ let match_cmd =
     (Cmd.info "match" ~doc:"Enumerate actual matches of a twig query.")
     Term.(const run $ obs_term $ xml_arg $ query $ limit)
 
+(* --- batch ------------------------------------------------------------------- *)
+
+let batch_cmd =
+  let queries_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "queries" ] ~docv:"FILE"
+          ~doc:
+            "Read queries from $(docv), one per line, in twig or XPath syntax (default: stdin). \
+             Blank lines and lines starting with '#' are skipped.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: table or json.")
+  in
+  let run obs xml k scheme jobs queries_file format =
+    with_obs obs @@ fun () ->
+    let lines =
+      let read_all ic =
+        let rec go acc = match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+        in
+        go []
+      in
+      let raw =
+        match queries_file with
+        | None -> read_all stdin
+        | Some path ->
+          let ic = open_in path in
+          Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_all ic)
+      in
+      List.filter
+        (fun l -> l <> "" && l.[0] <> '#')
+        (List.map String.trim raw)
+    in
+    Tl_util.Pool.with_pool ~domains:(max 1 jobs) @@ fun pool ->
+    let tree = load_tree xml in
+    let tl =
+      let summary, ms = Tl_util.Timer.time_ms (fun () -> Summary.build ~pool ~k tree) in
+      Printf.eprintf "summary: built in %.0f ms\n%!" ms;
+      Treelattice.of_summary tree summary
+    in
+    (* Each line becomes a twig plus a post-estimate transform carrying the
+       anchored-XPath scaling, so every line agrees exactly with what the
+       estimate/xpath subcommands print for it. *)
+    let parse line =
+      let anchored_scale twig estimate =
+        let root_label = Data_tree.label tree (Data_tree.root tree) in
+        if twig.Tl_twig.Twig.label <> root_label then 0.0
+        else
+          let occurrences = Array.length (Data_tree.nodes_with_label tree root_label) in
+          estimate /. float_of_int (max 1 occurrences)
+      in
+      let from_xpath () =
+        Result.map
+          (fun (anchored, twig) ->
+            (twig, if anchored then anchored_scale twig else fun e -> e))
+          (Treelattice.parse_xpath tl line)
+      in
+      let from_twig () =
+        Result.map (fun twig -> (twig, fun e -> e)) (Treelattice.parse_query tl line)
+      in
+      let first, second =
+        if String.length line > 0 && line.[0] = '/' then (from_xpath, from_twig)
+        else (from_twig, from_xpath)
+      in
+      match first () with
+      | Ok parsed -> parsed
+      | Error _ -> (
+        match second () with
+        | Ok parsed -> parsed
+        | Error msg ->
+          Printf.eprintf "bad query %S: %s\n" line msg;
+          exit 1)
+    in
+    let parsed = Array.of_list (List.map parse lines) in
+    let engine = Tl_serve.Engine.of_treelattice ~scheme tl in
+    let estimates, elapsed_ms =
+      Tl_util.Timer.time_ms (fun () ->
+          Tl_serve.Engine.batch ~pool engine (Array.map fst parsed))
+    in
+    let results =
+      Array.mapi (fun i line -> (line, (snd parsed.(i)) estimates.(i))) (Array.of_list lines)
+    in
+    (match format with
+    | `Table ->
+      print_string
+        (Tl_util.Table.render ~header:[ "query"; "estimate" ]
+           (Array.to_list
+              (Array.map (fun (q, e) -> [ q; Printf.sprintf "%.2f" e ]) results)))
+    | `Json ->
+      let json_escape s =
+        let buf = Buffer.create (String.length s + 8) in
+        String.iter
+          (fun c ->
+            match c with
+            | '"' -> Buffer.add_string buf "\\\""
+            | '\\' -> Buffer.add_string buf "\\\\"
+            | '\n' -> Buffer.add_string buf "\\n"
+            | '\t' -> Buffer.add_string buf "\\t"
+            | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+            | c -> Buffer.add_char buf c)
+          s;
+        Buffer.contents buf
+      in
+      print_string "{\n";
+      Printf.printf "  \"schema_version\": 1,\n";
+      Printf.printf "  \"scheme\": \"%s\",\n" (json_escape (Estimator.scheme_name scheme));
+      Printf.printf "  \"queries\": %d,\n" (Array.length results);
+      print_string "  \"results\": [\n";
+      Array.iteri
+        (fun i (q, e) ->
+          Printf.printf "    {\"query\": \"%s\", \"estimate\": %.6g}%s\n" (json_escape q) e
+            (if i = Array.length results - 1 then "" else ","))
+        results;
+      print_string "  ]\n}\n");
+    (* Serving telemetry on stderr, so stdout stays machine-readable. *)
+    let stats = Tl_serve.Engine.stats engine in
+    let n = Array.length results in
+    Printf.eprintf
+      "batch: %d queries (%d plans compiled, %d cache hits) in %.0f ms across %d domain(s)\n%!" n
+      stats.Tl_core.Plan_cache.misses
+      (stats.Tl_core.Plan_cache.hits + (n - stats.Tl_core.Plan_cache.misses))
+      elapsed_ms (Tl_util.Pool.domains pool)
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Estimate a batch of twig/XPath queries through the compiled-plan cache: queries are \
+          deduplicated, compiled once each, and evaluated across -j domains.")
+    Term.(const run $ obs_term $ xml_arg $ k_arg $ scheme_arg $ jobs_arg $ queries_arg $ format_arg)
+
 (* --- prune ------------------------------------------------------------------- *)
 
 let prune_cmd =
@@ -531,7 +668,7 @@ let main =
     (Cmd.info "treelattice" ~version:"1.0.0" ~doc)
     [
       generate_cmd; summarize_cmd; stats_cmd; mine_cmd; estimate_cmd; explain_cmd; xpath_cmd;
-      match_cmd; plan_cmd; values_cmd; prune_cmd; exp_cmd;
+      match_cmd; batch_cmd; plan_cmd; values_cmd; prune_cmd; exp_cmd;
     ]
 
 let () = exit (Cmd.eval main)

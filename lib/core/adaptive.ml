@@ -1,53 +1,35 @@
 module Twig = Tl_twig.Twig
 
-type entry = { count : int; mutable last_used : int }
+(* The feedback cache keys on interned canonical ids and keeps recency in
+   Tl_util.Lru's intrusive list, so observe-time eviction is O(1) instead
+   of the seed's full-table scan for the oldest entry.  The plan cache
+   (Plan_cache) sits on the same structure — one eviction mechanism, one
+   stats shape, shared between the two workload-adaptive layers. *)
+module Cache = Tl_util.Lru.Make (struct
+  type t = int
 
-type t = {
-  tl : Treelattice.t;
-  capacity : int;
-  cache : (int, entry) Hashtbl.t;  (* keyed by Twig.Key.id *)
-  mutable clock : int;
-  mutable hits : int;
-}
+  let equal = Int.equal
+
+  let hash = Hashtbl.hash
+end)
+
+type t = { tl : Treelattice.t; cache : int Cache.t }
 
 let create ?(capacity = 256) tl =
   if capacity < 1 then invalid_arg "Adaptive.create: capacity must be >= 1";
-  { tl; capacity; cache = Hashtbl.create capacity; clock = 0; hits = 0 }
+  { tl; cache = Cache.create ~capacity }
 
 let base t = t.tl
 
-let tick t =
-  t.clock <- t.clock + 1;
-  t.clock
-
-let lookup t key =
-  match Hashtbl.find_opt t.cache (Twig.Key.id key) with
-  | Some entry ->
-    entry.last_used <- tick t;
-    t.hits <- t.hits + 1;
-    Some (float_of_int entry.count)
-  | None -> None
-
-let evict_lru t =
-  let victim = ref None in
-  Hashtbl.iter
-    (fun key entry ->
-      match !victim with
-      | Some (_, oldest) when oldest <= entry.last_used -> ()
-      | _ -> victim := Some (key, entry.last_used))
-    t.cache;
-  match !victim with Some (key, _) -> Hashtbl.remove t.cache key | None -> ()
+let lookup t key = Option.map float_of_int (Cache.find t.cache (Twig.Key.id key))
 
 let observe t twig count =
   if count < 0 then invalid_arg "Adaptive.observe: negative count";
   let key = Twig.key twig in
   (* The lattice already stores every pattern within its depth exactly;
      caching those would only waste capacity. *)
-  if Twig.size (Twig.Key.twig key) > Tl_lattice.Summary.k (Treelattice.summary t.tl) then begin
-    let id = Twig.Key.id key in
-    if (not (Hashtbl.mem t.cache id)) && Hashtbl.length t.cache >= t.capacity then evict_lru t;
-    Hashtbl.replace t.cache id { count; last_used = tick t }
-  end
+  if Twig.Key.size key > Tl_lattice.Summary.k (Treelattice.summary t.tl) then
+    Cache.add t.cache (Twig.Key.id key) count
 
 let observe_exact t twig =
   let count = Treelattice.exact t.tl twig in
@@ -60,6 +42,18 @@ let estimate ?(scheme = Treelattice.default_scheme) t twig =
 let estimate_interval t twig =
   Estimator.estimate_interval ~extra:(lookup t) (Treelattice.summary t.tl) twig
 
-let cached_patterns t = Hashtbl.length t.cache
+let cached_patterns t = Cache.size t.cache
 
-let hit_count t = t.hits
+let hit_count t = (Cache.stats t.cache).Cache.hits
+
+type stats = { size : int; capacity : int; hits : int; misses : int; evictions : int }
+
+let stats t =
+  let s = Cache.stats t.cache in
+  {
+    size = s.Cache.size;
+    capacity = s.Cache.capacity;
+    hits = s.Cache.hits;
+    misses = s.Cache.misses;
+    evictions = s.Cache.evictions;
+  }

@@ -45,3 +45,16 @@ val cached_patterns : t -> int
 
 val hit_count : t -> int
 (** Number of estimate-time lookups answered by the cache so far. *)
+
+type stats = {
+  size : int;  (** patterns currently cached *)
+  capacity : int;
+  hits : int;  (** lookups answered by the cache *)
+  misses : int;  (** lookups that fell through to the lattice *)
+  evictions : int;  (** patterns displaced since creation *)
+}
+
+val stats : t -> stats
+(** Counters of the underlying {!Tl_util.Lru} cache — the same shape
+    {!Plan_cache.stats} reports, so serving dashboards can watch both
+    adaptive layers with one scrape. *)

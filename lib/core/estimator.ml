@@ -395,3 +395,305 @@ let estimate ?extra ?probe summary scheme twig =
   | Recursive_voting -> recursive_estimate ?extra ?probe ~voting:true summary twig
   | Fixed_size -> fixed_size_estimate ?extra ?probe summary twig
   | Fixed_size_voting samples -> fixed_size_estimate ?extra ?probe ~samples summary twig
+
+(* --- compiled plans ----------------------------------------------------- *)
+
+(* A plan is [estimate] with everything that does not depend on the
+   [?extra] feedback source hoisted to compile time: canonicalization,
+   sub-twig enumeration ([remove]/[induced] spine rebuilds), summary
+   lookups, the zero rules, twin-edge detection, and — for the fixed-size
+   schemes — the whole cover construction including the rng draws.  What
+   remains at eval time is a lazy sweep over int-indexed slots.
+
+   Bit-identity with the direct path is a hard invariant (the qcheck
+   differential property pins it): every short-circuit, accumulation
+   order, and division below mirrors the corresponding site above.  The
+   single permitted divergence is that [small_estimate]'s fallback chain
+   consults [extra] twice for the same key where a plan consults it once —
+   the floats agree because the source is deterministic within a call. *)
+module Plan = struct
+  type pair = { s1 : int; s2 : int; scap : int; twin : bool }
+
+  (* What a slot's lookup resolved to against the (immutable) summary.
+     [Decompose] children always have smaller slot indices, so the slots
+     array is topologically ordered children-first. *)
+  type resolution = Stored of int | Zero | Decompose of pair array
+
+  type slot = { skey : Twig.Key.t; res : resolution }
+
+  type step = { block : int; overlap : int (* -1 = first block *); twins : int }
+
+  type program =
+    | Slot_value of int  (* recursive schemes, and small fixed-size roots *)
+    | Cover of step array array  (* one array per (sampled) cover *)
+
+  type t = {
+    pscheme : scheme;
+    root : Twig.Key.t;
+    slots : slot array;
+    prog : program;
+    const_result : float;  (* eval with no extra source: fully determined *)
+  }
+
+  let scheme t = t.pscheme
+
+  let root_key t = t.root
+
+  let slot_count t = Array.length t.slots
+
+  let eval_with plan ~extra ~probe =
+    let slots = plan.slots in
+    let n = Array.length slots in
+    let values = Array.make n 0.0 in
+    let computed = Bytes.make n '\000' in
+    let rec get i =
+      if Bytes.unsafe_get computed i = '\001' then Array.unsafe_get values i
+      else begin
+        let v = compute (Array.unsafe_get slots i) in
+        Bytes.unsafe_set computed i '\001';
+        Array.unsafe_set values i v;
+        v
+      end
+    and compute s =
+      let key = s.skey in
+      match (extra key : float option) with
+      | Some known ->
+        (match probe with
+        | None -> ()
+        | Some p -> p.on_lookup (Twig.Key.encode key) (Found_extra known));
+        known
+      | None -> (
+        match s.res with
+        | Stored c ->
+          (match probe with
+          | None -> ()
+          | Some p -> p.on_lookup (Twig.Key.encode key) (Found_summary c));
+          float_of_int c
+        | Zero ->
+          (match probe with
+          | None -> ()
+          | Some p -> p.on_lookup (Twig.Key.encode key) Assumed_zero);
+          0.0
+        | Decompose pairs ->
+          (match probe with
+          | None -> ()
+          | Some p -> p.on_lookup (Twig.Key.encode key) Decomposing);
+          let np = Array.length pairs in
+          if np = 0 then 0.0
+          else begin
+            let total = ref 0.0 in
+            for pi = 0 to np - 1 do
+              total := !total +. pair_value key pairs.(pi)
+            done;
+            let v = !total /. float_of_int np in
+            (match probe with None -> () | Some p -> p.on_value (Twig.Key.encode key) v);
+            v
+          end)
+    and pair_value key pr =
+      let finish ~e1 ~e2 ~ec value =
+        (match probe with
+        | None -> ()
+        | Some p ->
+          p.on_pair ~parent:(Twig.Key.encode key)
+            ~t1:(Twig.Key.encode slots.(pr.s1).skey)
+            ~t2:(Twig.Key.encode slots.(pr.s2).skey)
+            ~cap:(Twig.Key.encode slots.(pr.scap).skey)
+            ~twin:pr.twin ~e1 ~e2 ~ec ~value);
+        value
+      in
+      let e1 = get pr.s1 in
+      if e1 = 0.0 then finish ~e1 ~e2:Float.nan ~ec:Float.nan 0.0
+      else begin
+        let e2 = get pr.s2 in
+        if e2 = 0.0 then finish ~e1 ~e2 ~ec:Float.nan 0.0
+        else begin
+          let ec = get pr.scap in
+          if ec <= 0.0 then finish ~e1 ~e2 ~ec 0.0
+          else if pr.twin then finish ~e1 ~e2 ~ec (Float.max 0.0 ((e1 *. e2 /. ec) -. e1))
+          else finish ~e1 ~e2 ~ec (e1 *. e2 /. ec)
+        end
+      end
+    in
+    let cstep ~block ~overlap ~twins ~num ~den ~acc =
+      match probe with
+      | None -> ()
+      | Some p ->
+        p.on_cover_step
+          ~block:(Twig.Key.encode slots.(block).skey)
+          ~overlap:(if overlap < 0 then None else Some (Twig.Key.encode slots.(overlap).skey))
+          ~twins ~num ~den ~acc
+    in
+    let eval_cover steps =
+      let nsteps = Array.length steps in
+      let rec go acc i =
+        if i >= nsteps then acc
+        else if acc = 0.0 then 0.0
+        else begin
+          let st = steps.(i) in
+          let num = get st.block in
+          if num = 0.0 then begin
+            cstep ~block:st.block ~overlap:st.overlap ~twins:st.twins ~num ~den:Float.nan
+              ~acc:0.0;
+            0.0
+          end
+          else if st.overlap < 0 then begin
+            cstep ~block:st.block ~overlap:st.overlap ~twins:st.twins ~num ~den:Float.nan
+              ~acc:(acc *. num);
+            go (acc *. num) (i + 1)
+          end
+          else begin
+            let den = get st.overlap in
+            if den <= 0.0 then begin
+              cstep ~block:st.block ~overlap:st.overlap ~twins:st.twins ~num ~den ~acc:0.0;
+              0.0
+            end
+            else begin
+              let multiplier = (num /. den) -. float_of_int st.twins in
+              if multiplier <= 0.0 then begin
+                cstep ~block:st.block ~overlap:st.overlap ~twins:st.twins ~num ~den ~acc:0.0;
+                0.0
+              end
+              else begin
+                cstep ~block:st.block ~overlap:st.overlap ~twins:st.twins ~num ~den
+                  ~acc:(acc *. multiplier);
+                go (acc *. multiplier) (i + 1)
+              end
+            end
+          end
+        end
+      in
+      go 1.0 0
+    in
+    match plan.prog with
+    | Slot_value i -> get i
+    | Cover covers ->
+      let nc = Array.length covers in
+      if nc = 1 && plan.pscheme = Fixed_size then eval_cover covers.(0)
+      else begin
+        (* [x /. 1.0 = x] exactly, so a 1-sample voting cover still matches
+           the direct path's unconditional average. *)
+        let total = ref 0.0 in
+        for i = 0 to nc - 1 do
+          total := !total +. eval_cover covers.(i)
+        done;
+        !total /. float_of_int nc
+      end
+
+  let no_extra _ = None
+
+  let compile summary sch twig =
+    Metrics.incr "plan.compiles";
+    let twig = Twig.canonicalize twig in
+    let root_key = Twig.key twig in
+    let complete = Summary.is_complete summary in
+    let k = Summary.k summary in
+    let index_of : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    let rev_slots = ref [] in
+    let n_slots = ref 0 in
+    let push skey res =
+      let idx = !n_slots in
+      Hashtbl.replace index_of (Twig.Key.id skey) idx;
+      rev_slots := { skey; res } :: !rev_slots;
+      incr n_slots;
+      idx
+    in
+    (* Mirrors [recursive_estimate]'s compute chain with the summary
+       consulted now instead of at eval time.  Children are pushed before
+       their parent, giving the topological slot order [eval_with] needs. *)
+    let rec comp_rec ~voting key =
+      match Hashtbl.find_opt index_of (Twig.Key.id key) with
+      | Some idx -> idx
+      | None -> (
+        match Summary.find_key summary key with
+        | Some count -> push key (Stored count)
+        | None ->
+          let n = Twig.Key.size key in
+          if n <= 2 || (complete && n <= k) then push key Zero
+          else begin
+            let twig = Twig.Key.twig key in
+            let ix = Twig.index twig in
+            let removable = Twig.degree_one ix in
+            let pairs = unordered_pairs removable in
+            let pairs =
+              match (voting, pairs) with
+              | true, _ | _, [] -> pairs
+              | false, first :: _ -> [ first ]
+            in
+            let compiled =
+              List.map
+                (fun (u, u') ->
+                  let t1 = Twig.remove ix u in
+                  let t2 = Twig.remove ix u' in
+                  let cap = Twig.induced ix (nodes_except ix [ u; u' ]) in
+                  let twin =
+                    ix.parents.(u) >= 0
+                    && ix.parents.(u) = ix.parents.(u')
+                    && ix.node_labels.(u) = ix.node_labels.(u')
+                  in
+                  let s1 = comp_rec ~voting (Twig.key t1) in
+                  let s2 = comp_rec ~voting (Twig.key t2) in
+                  let scap = comp_rec ~voting (Twig.key cap) in
+                  { s1; s2; scap; twin })
+                pairs
+            in
+            push key (Decompose (Array.of_list compiled))
+          end)
+    in
+    (* Mirrors [small_estimate]: stored, or a true zero under a complete
+       summary, or the recursive fallback that keeps pruning lossless. *)
+    let comp_small key =
+      match Hashtbl.find_opt index_of (Twig.Key.id key) with
+      | Some idx -> idx
+      | None -> (
+        match Summary.find_key summary key with
+        | Some count -> push key (Stored count)
+        | None -> if complete then push key Zero else comp_rec ~voting:false key)
+    in
+    let prog =
+      match sch with
+      | Recursive -> Slot_value (comp_rec ~voting:false root_key)
+      | Recursive_voting -> Slot_value (comp_rec ~voting:true root_key)
+      | Fixed_size | Fixed_size_voting _ ->
+        if Twig.Key.size root_key <= k then Slot_value (comp_small root_key)
+        else begin
+          let ix = Twig.index twig in
+          let compile_cover choose =
+            cover_with ~choose ix ~k
+            |> List.map (fun (block, overlap, twins) ->
+                   let block = comp_small (Twig.key block) in
+                   let overlap =
+                     match overlap with None -> -1 | Some o -> comp_small (Twig.key o)
+                   in
+                   { block; overlap; twins })
+            |> Array.of_list
+          in
+          match sch with
+          | Fixed_size -> Cover [| compile_cover List.hd |]
+          | Fixed_size_voting samples ->
+            let count = max 1 samples in
+            (* Same seed and same draw order as [fixed_size_estimate], so a
+               compiled plan freezes exactly the covers the direct path
+               would sample for this query. *)
+            let rng = Tl_util.Xorshift.create (Twig.hash twig) in
+            let choose candidates =
+              List.nth candidates (Tl_util.Xorshift.int rng (List.length candidates))
+            in
+            let covers = Array.make count [||] in
+            for i = 0 to count - 1 do
+              covers.(i) <- compile_cover choose
+            done;
+            Cover covers
+          | Recursive | Recursive_voting -> assert false
+        end
+    in
+    let slots = Array.of_list (List.rev !rev_slots) in
+    let plan = { pscheme = sch; root = root_key; slots; prog; const_result = 0.0 } in
+    { plan with const_result = eval_with plan ~extra:no_extra ~probe:None }
+
+  let eval ?extra ?probe plan =
+    match (extra, probe) with
+    | None, None -> plan.const_result
+    | _ ->
+      let extra = match extra with Some f -> f | None -> no_extra in
+      eval_with plan ~extra ~probe
+end

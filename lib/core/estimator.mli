@@ -132,3 +132,46 @@ val cover : Tl_twig.Twig.t -> k:int -> (Tl_twig.Twig.t * Tl_twig.Twig.t option) 
 (** The deterministic fixed-size cover of a twig of size [> k]: the list
     [(B1, None); (B2, Some I2); ...] of k-subtrees with their (k-1)-subtree
     overlaps, per Lemma 2.  Exposed for tests and the worked examples. *)
+
+(** {2 Compiled estimation plans}
+
+    {!compile} runs the decomposition of a query {e once} — twig
+    canonicalization, sub-twig enumeration, summary lookups, zero rules,
+    twin-edge detection, and (for the fixed-size schemes) the full cover
+    construction including its deterministic rng draws — and freezes the
+    result as a flat array of int-indexed slots.  {!eval} is then a tight
+    sweep over those slots: no twig rebuilding, no hashing of twig keys, no
+    summary access.  Summaries are immutable after construction, which is
+    what makes compile-time resolution sound.
+
+    For any summary, scheme, twig, and [?extra] source,
+    [eval ?extra (compile summary scheme twig)] returns the {e bit-identical}
+    float of [estimate ?extra summary scheme twig] (a qcheck property pins
+    this).  Plans with no feedback source collapse further: the result is a
+    compile-time constant and [eval] without [?extra] is a field read —
+    the fast path the plan cache and the batch engine serve from.
+
+    A compiled plan is immutable and safe to share across domains. *)
+module Plan : sig
+  type t
+
+  val compile : Tl_lattice.Summary.t -> scheme -> Tl_twig.Twig.t -> t
+  (** Compile the query against the summary under the given scheme.  Cost
+      is comparable to one direct [estimate] call; amortize it through
+      {!Plan_cache} for repeated queries. *)
+
+  val eval : ?extra:(Tl_twig.Twig.Key.t -> float option) -> ?probe:probe -> t -> float
+  (** The estimate, consulting [extra] before each slot's compiled
+      resolution (exactly where [estimate] consults it) and reporting the
+      same probe events the direct path reports.  Without [extra] and
+      [probe] this returns the precomputed constant without evaluating
+      anything. *)
+
+  val scheme : t -> scheme
+
+  val root_key : t -> Tl_twig.Twig.Key.t
+  (** The canonical interned key of the compiled query. *)
+
+  val slot_count : t -> int
+  (** Number of distinct sub-twig slots in the program (a size proxy). *)
+end

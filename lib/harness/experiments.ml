@@ -16,6 +16,7 @@ module Table = Tl_util.Table
 module Timer = Tl_util.Timer
 module Xorshift = Tl_util.Xorshift
 module Pool = Tl_util.Pool
+module Engine = Tl_serve.Engine
 
 type config = {
   seed : int;
@@ -61,6 +62,7 @@ type env = {
   tree : Data_tree.t;
   ctx : Match_count.ctx;
   summary : Summary.t;
+  engine : Engine.t;  (* plan-cached serving front over [summary] *)
   lattice_ms : float;
   sketch : Synopsis.t;
   sketch_ms : float;
@@ -80,7 +82,8 @@ let prepare ?pool config dataset =
   let workloads =
     Workload.positive_sweep ~seed:config.seed ctx ~sizes:config.sizes ~count:config.queries_per_size
   in
-  { dataset; document; tree; ctx; summary; lattice_ms; sketch; sketch_ms; workloads }
+  let engine = Engine.create summary in
+  { dataset; document; tree; ctx; summary; engine; lattice_ms; sketch; sketch_ms; workloads }
 
 (* Per-workload evaluation of every estimator: the shared raw material of
    Figs. 7, 8, and 9. *)
@@ -109,11 +112,14 @@ let suite_pool s = s.pool
 
 let envs s = s.suite_envs
 
+(* Lattice schemes run through the env's plan-cached engine: sweeps repeat
+   queries across figures, and plan evaluation is bit-identical to direct
+   estimation, so the figures are unchanged while repeated work amortizes. *)
 let figure_estimators env =
   [
-    ("recursive", fun twig -> Estimator.estimate env.summary Recursive twig);
-    ("rec+voting", fun twig -> Estimator.estimate env.summary Recursive_voting twig);
-    ("fixed-size", fun twig -> Estimator.estimate env.summary Fixed_size twig);
+    ("recursive", fun twig -> Engine.estimate ~scheme:Recursive env.engine twig);
+    ("rec+voting", fun twig -> Engine.estimate ~scheme:Recursive_voting env.engine twig);
+    ("fixed-size", fun twig -> Engine.estimate ~scheme:Fixed_size env.engine twig);
     ("treesketches", fun twig -> Sketch_estimate.estimate env.sketch twig);
   ]
 
@@ -335,10 +341,11 @@ let fig10b suite =
       Workload.positive_sweep ~seed:(config.seed + 31) env.ctx ~sizes:config.fig10b_sizes
         ~count:config.queries_per_size
     in
+    let opt_engine = Engine.create ~scheme:Estimator.Recursive_voting opt in
     let estimators =
       [
-        ("voting+OPT", fun twig -> Estimator.estimate opt Recursive_voting twig);
-        ("voting", fun twig -> Estimator.estimate env.summary Recursive_voting twig);
+        ("voting+OPT", fun twig -> Engine.estimate opt_engine twig);
+        ("voting", fun twig -> Engine.estimate ~scheme:Recursive_voting env.engine twig);
         ("treesketches", fun twig -> Sketch_estimate.estimate env.sketch twig);
       ]
     in
@@ -391,7 +398,9 @@ let fig10d suite =
   | Some env ->
     let pruned =
       List.map
-        (fun delta -> (delta, Derivable.prune ~scheme:Estimator.Recursive_voting env.summary ~delta))
+        (fun delta ->
+          let summary = Derivable.prune ~scheme:Estimator.Recursive_voting env.summary ~delta in
+          (delta, Engine.create ~scheme:Estimator.Recursive_voting summary))
         delta_sweep
     in
     let rows =
@@ -399,10 +408,10 @@ let fig10d suite =
         (fun wl ->
           Table.int_cell wl.Workload.size
           :: List.map
-               (fun (_, summary) ->
+               (fun (_, engine) ->
                  let pairs =
                    eval_pairs ?pool:suite.pool wl ~estimate:(fun twig ->
-                       Estimator.estimate summary Recursive_voting twig)
+                       Engine.estimate engine twig)
                  in
                  Report.percent (Error_metric.average_percent ~sanity:wl.Workload.sanity pairs))
                pruned)

@@ -23,14 +23,17 @@ val default_config : config
 val quick_config : config
 (** A seconds-scale configuration for tests and smoke runs. *)
 
-(** One prepared dataset: document, tree, summary, synopsis, workloads,
-    and the construction timings that feed Table 3. *)
+(** One prepared dataset: document, tree, summary, serving engine,
+    synopsis, workloads, and the construction timings that feed Table 3. *)
 type env = {
   dataset : Tl_datasets.Dataset.t;
   document : Tl_xml.Xml_dom.element;
   tree : Tl_tree.Data_tree.t;
   ctx : Tl_twig.Match_count.ctx;
   summary : Tl_lattice.Summary.t;
+  engine : Tl_serve.Engine.t;
+      (** plan-cached front over [summary]; the lattice schemes in every
+          figure estimate through it (bit-identical to direct estimation) *)
   lattice_ms : float;
   sketch : Tl_sketch.Synopsis.t;
   sketch_ms : float;

@@ -1,0 +1,91 @@
+module Twig = Tl_twig.Twig
+module Summary = Tl_lattice.Summary
+module Estimator = Tl_core.Estimator
+module Plan_cache = Tl_core.Plan_cache
+module Pool = Tl_util.Pool
+
+type t = { scheme : Estimator.scheme; cache : Plan_cache.t }
+
+let create ?(scheme = Tl_core.Treelattice.default_scheme) ?plan_capacity summary =
+  { scheme; cache = Plan_cache.create ?capacity:plan_capacity summary }
+
+let of_treelattice ?scheme ?plan_capacity tl =
+  create ?scheme ?plan_capacity (Tl_core.Treelattice.summary tl)
+
+let scheme t = t.scheme
+
+let summary t = Plan_cache.summary t.cache
+
+let stats t = Plan_cache.stats t.cache
+
+let estimate_key ?scheme ?extra t key =
+  let scheme = Option.value scheme ~default:t.scheme in
+  Estimator.Plan.eval ?extra (Plan_cache.plan_key t.cache scheme key)
+
+let estimate ?scheme ?extra t twig =
+  estimate_key ?scheme ?extra t (Twig.key (Twig.canonicalize twig))
+
+(* Per-unique-query work for the pool's cost-aware chunking: decomposition
+   work grows superlinearly with twig size, and a batch that mixes a few
+   deep twigs into a sea of small ones is exactly the skew the hint is
+   for.  Quadratic is a deliberate overestimate — too coarse only costs a
+   few extra chunk boundaries. *)
+let eval_cost key =
+  let s = Twig.Key.size key in
+  s * s
+
+let batch_keys ?pool ?scheme ?extra t keys =
+  let scheme = Option.value scheme ~default:t.scheme in
+  let n = Array.length keys in
+  (* Serving batches repeat queries; evaluate each distinct key once and
+     scatter.  Dedup keys on interned ids — O(n) int hashing. *)
+  let slot_of = Array.make n 0 in
+  let index_of : (int, int) Hashtbl.t = Hashtbl.create (2 * n) in
+  let rev_uniques = ref [] in
+  let n_uniques = ref 0 in
+  for i = 0 to n - 1 do
+    let id = Twig.Key.id keys.(i) in
+    match Hashtbl.find_opt index_of id with
+    | Some u -> slot_of.(i) <- u
+    | None ->
+      let u = !n_uniques in
+      Hashtbl.replace index_of id u;
+      rev_uniques := keys.(i) :: !rev_uniques;
+      incr n_uniques;
+      slot_of.(i) <- u
+  done;
+  let uniques = Array.of_list (List.rev !rev_uniques) in
+  let eval key = estimate_key ~scheme ?extra t key in
+  let unique_results =
+    match pool with
+    | Some pool when Pool.domains pool > 1 ->
+      Pool.parallel_chunked_map pool ~cost:eval_cost ~init:(fun () -> ()) (fun () -> eval) uniques
+    | _ -> Array.map eval uniques
+  in
+  Array.map (fun u -> unique_results.(u)) slot_of
+
+let batch ?pool ?scheme ?extra t twigs =
+  batch_keys ?pool ?scheme ?extra t (Array.map (fun tw -> Twig.key (Twig.canonicalize tw)) twigs)
+
+let batch_values ?pool ?scheme t values queries =
+  let queries = Array.map Tl_values.Value_query.canonicalize queries in
+  let keys =
+    Array.map
+      (fun q -> Twig.key (Twig.canonicalize (Tl_values.Value_query.strip q)))
+      queries
+  in
+  let structural = batch_keys ?pool ?scheme t keys in
+  Array.mapi
+    (fun i q ->
+      (* Same composition as [Value_estimator.estimate]: structural zeros
+         short-circuit, then predicate probabilities fold in canonical
+         preorder — the float is bit-identical to the per-call path. *)
+      let s = structural.(i) in
+      if s = 0.0 then 0.0
+      else
+        List.fold_left
+          (fun acc (label, value) ->
+            acc *. Tl_values.Value_summary.value_probability values label value)
+          s
+          (Tl_values.Value_query.predicates q))
+    queries

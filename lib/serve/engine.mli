@@ -1,0 +1,83 @@
+(** The batched estimation engine — the serving front of the library.
+
+    An engine owns a {!Tl_core.Plan_cache} over one summary and answers
+    query batches: dedupe on interned canonical keys, compile-or-reuse a
+    plan per distinct query, evaluate across a {!Tl_util.Pool} with
+    cost-aware chunking, scatter back in input order.  Results are
+    {e bit-identical} to calling {!Tl_core.Estimator.estimate} per query
+    — warm or cold, sequential or parallel, deduped or not.
+
+    Thread safety: one engine may serve many domains concurrently (the
+    plan cache is sharded for exactly that).  The [?extra] feedback
+    source, however, is called from every evaluating domain — pass a
+    domain-safe source when also passing a multi-domain [?pool].
+    {!Tl_core.Adaptive.lookup} mutates recency unsynchronized, so combine
+    it with parallel batches only behind the caller's lock, or evaluate
+    such batches sequentially. *)
+
+type t
+
+val create : ?scheme:Tl_core.Estimator.scheme -> ?plan_capacity:int -> Tl_lattice.Summary.t -> t
+(** An engine estimating with [scheme] by default
+    ({!Tl_core.Treelattice.default_scheme}) and caching up to
+    [plan_capacity] compiled plans (see {!Tl_core.Plan_cache.create}). *)
+
+val of_treelattice : ?scheme:Tl_core.Estimator.scheme -> ?plan_capacity:int -> Tl_core.Treelattice.t -> t
+
+val scheme : t -> Tl_core.Estimator.scheme
+
+val summary : t -> Tl_lattice.Summary.t
+
+val estimate :
+  ?scheme:Tl_core.Estimator.scheme ->
+  ?extra:(Tl_twig.Twig.Key.t -> float option) ->
+  t ->
+  Tl_twig.Twig.t ->
+  float
+(** One query through the plan cache: the per-call path for callers that
+    do not batch but still repeat queries ({!Tl_harness.Experiments} runs
+    every figure through this). *)
+
+val estimate_key :
+  ?scheme:Tl_core.Estimator.scheme ->
+  ?extra:(Tl_twig.Twig.Key.t -> float option) ->
+  t ->
+  Tl_twig.Twig.Key.t ->
+  float
+(** {!estimate} for an already-interned canonical key. *)
+
+val batch :
+  ?pool:Tl_util.Pool.t ->
+  ?scheme:Tl_core.Estimator.scheme ->
+  ?extra:(Tl_twig.Twig.Key.t -> float option) ->
+  t ->
+  Tl_twig.Twig.t array ->
+  float array
+(** Estimates in input order.  Distinct queries (after canonicalization)
+    are evaluated once each; with a [pool], distinct queries spread across
+    its domains, chunked by a per-query size hint so one deep twig does
+    not serialize the tail of a skewed batch. *)
+
+val batch_keys :
+  ?pool:Tl_util.Pool.t ->
+  ?scheme:Tl_core.Estimator.scheme ->
+  ?extra:(Tl_twig.Twig.Key.t -> float option) ->
+  t ->
+  Tl_twig.Twig.Key.t array ->
+  float array
+
+val batch_values :
+  ?pool:Tl_util.Pool.t ->
+  ?scheme:Tl_core.Estimator.scheme ->
+  t ->
+  Tl_values.Value_summary.t ->
+  Tl_values.Value_query.t array ->
+  float array
+(** Value-predicate queries: structural estimates through the plan cache
+    (deduped on the {e stripped} twig, so queries differing only in
+    predicates share one plan), multiplied by the value-summary
+    probabilities.  Bit-identical to {!Tl_values.Value_estimator.estimate}
+    per query against the same summaries. *)
+
+val stats : t -> Tl_core.Plan_cache.stats
+(** The underlying plan-cache counters (see {!Tl_core.Plan_cache.stats}). *)

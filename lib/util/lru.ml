@@ -1,0 +1,129 @@
+(* Intrusive LRU: the hash table owns the nodes, and the recency order is
+   a doubly-linked list threaded through them ([head] = most recent,
+   [tail] = eviction victim).  Every operation splices O(1) links; nothing
+   ever scans the table. *)
+
+module Make (H : Hashtbl.HashedType) = struct
+  type key = H.t
+
+  module Table = Hashtbl.Make (H)
+
+  type 'a node = {
+    nkey : key;
+    mutable value : 'a;
+    mutable prev : 'a node option;  (* toward the most-recent end *)
+    mutable next : 'a node option;  (* toward the least-recent end *)
+  }
+
+  type 'a t = {
+    capacity : int;
+    table : 'a node Table.t;
+    mutable head : 'a node option;
+    mutable tail : 'a node option;
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+  }
+
+  let create ~capacity =
+    if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+    {
+      capacity;
+      table = Table.create capacity;
+      head = None;
+      tail = None;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+    }
+
+  let capacity t = t.capacity
+
+  let size t = Table.length t.table
+
+  let unlink t node =
+    (match node.prev with
+    | Some p -> p.next <- node.next
+    | None -> t.head <- node.next);
+    (match node.next with
+    | Some n -> n.prev <- node.prev
+    | None -> t.tail <- node.prev);
+    node.prev <- None;
+    node.next <- None
+
+  let push_front t node =
+    node.prev <- None;
+    node.next <- t.head;
+    (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+    t.head <- Some node
+
+  let touch t node =
+    match node.prev with
+    | None -> () (* already the head *)
+    | Some _ ->
+      unlink t node;
+      push_front t node
+
+  let find t key =
+    match Table.find_opt t.table key with
+    | Some node ->
+      t.hits <- t.hits + 1;
+      touch t node;
+      Some node.value
+    | None ->
+      t.misses <- t.misses + 1;
+      None
+
+  let peek t key = Option.map (fun node -> node.value) (Table.find_opt t.table key)
+
+  let mem t key = Table.mem t.table key
+
+  let evict_lru t =
+    match t.tail with
+    | None -> ()
+    | Some victim ->
+      unlink t victim;
+      Table.remove t.table victim.nkey;
+      t.evictions <- t.evictions + 1
+
+  let add t key value =
+    match Table.find_opt t.table key with
+    | Some node ->
+      node.value <- value;
+      touch t node
+    | None ->
+      if Table.length t.table >= t.capacity then evict_lru t;
+      let node = { nkey = key; value; prev = None; next = None } in
+      Table.replace t.table key node;
+      push_front t node
+
+  let remove t key =
+    match Table.find_opt t.table key with
+    | Some node ->
+      unlink t node;
+      Table.remove t.table key
+    | None -> ()
+
+  let clear t =
+    Table.reset t.table;
+    t.head <- None;
+    t.tail <- None
+
+  let fold f t init =
+    let rec go acc = function
+      | None -> acc
+      | Some node -> go (f node.nkey node.value acc) node.next
+    in
+    go init t.head
+
+  type stats = { size : int; capacity : int; hits : int; misses : int; evictions : int }
+
+  let stats t =
+    {
+      size = Table.length t.table;
+      capacity = t.capacity;
+      hits = t.hits;
+      misses = t.misses;
+      evictions = t.evictions;
+    }
+end

@@ -62,17 +62,18 @@ let with_pool ?domains f =
   let pool = create ?domains () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
-(* One participant's share of a map: claim chunks from [cursor] until the
-   array is exhausted or another participant has recorded an error.  Local
-   state is created lazily so participants that never win a chunk never pay
-   for [init]. *)
-let participant_loop ~cursor ~error ~chunk ~n ~init ~f ~src ~dst =
+(* One participant's share of a map: claim chunks (indices into the
+   boundary array) from [cursor] until the array is exhausted or another
+   participant has recorded an error.  Local state is created lazily so
+   participants that never win a chunk never pay for [init]. *)
+let participant_loop ~cursor ~error ~boundaries ~init ~f ~src ~dst =
   try
+    let nchunks = Array.length boundaries - 1 in
     let state = ref None in
     let continue = ref true in
     while !continue do
-      let start = Atomic.fetch_and_add cursor chunk in
-      if start >= n || Atomic.get error <> None then continue := false
+      let ci = Atomic.fetch_and_add cursor 1 in
+      if ci >= nchunks || Atomic.get error <> None then continue := false
       else begin
         let state =
           match !state with
@@ -82,8 +83,7 @@ let participant_loop ~cursor ~error ~chunk ~n ~init ~f ~src ~dst =
             state := Some s;
             s
         in
-        let stop = min n (start + chunk) in
-        for i = start to stop - 1 do
+        for i = boundaries.(ci) to boundaries.(ci + 1) - 1 do
           dst.(i) <- Some (f state src.(i))
         done
       end
@@ -97,20 +97,57 @@ let sequential_map ~init f src =
   let state = init () in
   Array.map (f state) src
 
-let parallel_chunked_map pool ?chunk_size ~init f src =
+(* Chunk boundaries as index cut points [|0; ...; n|].  Without cost hints
+   chunks are a fixed item count; with them each chunk carries roughly
+   [total_cost / (domains * 8)], so one heavy item fills its own chunk
+   instead of dragging a long run of light neighbours with it — claimed
+   last, such a mixed chunk would serialize the whole tail. *)
+let uniform_boundaries ~n ~chunk =
+  let nchunks = (n + chunk - 1) / chunk in
+  Array.init (nchunks + 1) (fun i -> min n (i * chunk))
+
+let costed_boundaries ~n ~domains ~cost src =
+  let total = ref 0 in
+  let costs =
+    Array.map
+      (fun x ->
+        let c = max 1 (cost x) in
+        total := !total + c;
+        c)
+      src
+  in
+  let target = max 1 (!total / (domains * 8)) in
+  let cuts = ref [ 0 ] in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    acc := !acc + costs.(i);
+    if !acc >= target && i < n - 1 then begin
+      cuts := (i + 1) :: !cuts;
+      acc := 0
+    end
+  done;
+  Array.of_list (List.rev (n :: !cuts))
+
+let parallel_chunked_map pool ?chunk_size ?cost ~init f src =
   let n = Array.length src in
   if pool.stopped then invalid_arg "Pool: map on a shut-down pool";
   if pool.n_domains <= 1 || n <= 1 then sequential_map ~init f src
   else begin
-    let chunk =
-      match chunk_size with
-      | Some c -> max 1 c
-      | None -> max 1 (n / (pool.n_domains * 8))
+    let boundaries =
+      match cost with
+      | Some cost -> costed_boundaries ~n ~domains:pool.n_domains ~cost src
+      | None ->
+        let chunk =
+          match chunk_size with
+          | Some c -> max 1 c
+          | None -> max 1 (n / (pool.n_domains * 8))
+        in
+        uniform_boundaries ~n ~chunk
     in
     let helpers =
       (* No point waking more helpers than there are chunks beyond the
          caller's first claim. *)
-      min (pool.n_domains - 1) (((n + chunk - 1) / chunk) - 1)
+      min (pool.n_domains - 1) (Array.length boundaries - 2)
     in
     let dst = Array.make n None in
     let cursor = Atomic.make 0 in
@@ -118,7 +155,7 @@ let parallel_chunked_map pool ?chunk_size ~init f src =
     let remaining = ref helpers in
     let done_mutex = Mutex.create () in
     let done_cond = Condition.create () in
-    let run () = participant_loop ~cursor ~error ~chunk ~n ~init ~f ~src ~dst in
+    let run () = participant_loop ~cursor ~error ~boundaries ~init ~f ~src ~dst in
     let helper () =
       run ();
       Mutex.lock done_mutex;

@@ -36,14 +36,28 @@ val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
     stop claiming work. *)
 
 val parallel_chunked_map :
-  t -> ?chunk_size:int -> init:(unit -> 's) -> ('s -> 'a -> 'b) -> 'a array -> 'b array
+  t ->
+  ?chunk_size:int ->
+  ?cost:('a -> int) ->
+  init:(unit -> 's) ->
+  ('s -> 'a -> 'b) ->
+  'a array ->
+  'b array
 (** Like {!parallel_map}, but each participant first creates private local
     state with [init] (at most once, lazily) and threads it through every
     element it processes — the shape needed when the per-element function
     wants a reusable scratch structure, e.g. a {!Tl_twig.Match_count}
     context cloned per domain.  [chunk_size] overrides the number of
     consecutive elements claimed per cursor fetch (default: scaled to
-    roughly eight chunks per participant). *)
+    roughly eight chunks per participant).
+
+    [cost] is a per-item relative cost hint for skewed workloads (values
+    [< 1] are clamped to 1; it overrides [chunk_size]): chunk boundaries
+    are cut so each chunk carries a roughly equal cost share rather than
+    an equal item count, which stops one expensive item — claimed late,
+    bundled with a long run of cheap ones — from serializing the tail of
+    the map.  Hints only shape chunking; results are identical with or
+    without them. *)
 
 val shutdown : t -> unit
 (** Join all worker domains.  Idempotent; mapping on a shut-down pool

@@ -58,6 +58,31 @@ Match enumeration respects its limit:
   $ treelattice match --xml auction.xml "open_auction(bidder)" --limit 2 | head -1 | sed 's/^[0-9]*/N/'
   N match(es); showing up to 2
 
+Batched estimation dedupes repeated queries, accepts twig and XPath
+lines, and agrees with the per-query subcommands:
+
+  $ printf '# twig and xpath forms of the same query\nopen_auction(bidder)\n//open_auction[bidder]\n\nopen_auction(bidder)\n' > queries.txt
+  $ treelattice batch --xml auction.xml -k 3 --queries queries.txt 2>/dev/null
+  query                   estimate
+  ----------------------  --------
+  open_auction(bidder)      120.00
+  //open_auction[bidder]    120.00
+  open_auction(bidder)      120.00
+  $ treelattice batch --xml auction.xml -k 3 --queries queries.txt --format json 2>/dev/null
+  {
+    "schema_version": 1,
+    "scheme": "recursive+voting",
+    "queries": 3,
+    "results": [
+      {"query": "open_auction(bidder)", "estimate": 120},
+      {"query": "//open_auction[bidder]", "estimate": 120},
+      {"query": "open_auction(bidder)", "estimate": 120}
+    ]
+  }
+  $ treelattice batch --xml auction.xml -k 3 --queries queries.txt 2>&1 >/dev/null | sed 's/[0-9.]* ms/X ms/'
+  summary: built in X ms
+  batch: 3 queries (1 plans compiled, 2 cache hits) in X ms across 1 domain(s)
+
 Unknown experiment ids fail loudly:
 
   $ treelattice exp --quick no-such-experiment 2>&1 | tail -1

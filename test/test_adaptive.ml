@@ -68,6 +68,27 @@ let test_lru_eviction () =
   Alcotest.(check int) "capacity respected" 2 (Adaptive.cached_patterns adaptive);
   close "q1 survived" (float_of_int (Treelattice.exact tl q1)) (Adaptive.estimate adaptive q1)
 
+let test_stats () =
+  let tl = fig11_tl () in
+  let adaptive = Adaptive.create ~capacity:2 tl in
+  let tree = Treelattice.tree tl in
+  let q1 = Helpers.twig_of_string tree "a(b(c,d))" in
+  let q2 = Helpers.twig_of_string tree "a(b(c),b(d))" in
+  let q3 = Helpers.twig_of_string tree "a(b,b,b,b)" in
+  ignore (Adaptive.observe_exact adaptive q1);
+  ignore (Adaptive.observe_exact adaptive q2);
+  ignore (Adaptive.observe_exact adaptive q3);
+  ignore (Adaptive.estimate adaptive q3);
+  (* q1 was evicted, so estimating it records cache misses. *)
+  ignore (Adaptive.estimate adaptive q1);
+  let s = Adaptive.stats adaptive in
+  Alcotest.(check int) "size" 2 s.Adaptive.size;
+  Alcotest.(check int) "capacity" 2 s.Adaptive.capacity;
+  Alcotest.(check int) "one eviction" 1 s.Adaptive.evictions;
+  Alcotest.(check bool) "hits counted" true (s.Adaptive.hits > 0);
+  Alcotest.(check bool) "misses counted" true (s.Adaptive.misses > 0);
+  Alcotest.(check int) "hit_count agrees" s.Adaptive.hits (Adaptive.hit_count adaptive)
+
 let test_observe_validation () =
   let tl = fig11_tl () in
   let adaptive = Adaptive.create tl in
@@ -163,6 +184,7 @@ let () =
           Alcotest.test_case "anchors supertwigs" `Quick test_observation_anchors_supertwigs;
           Alcotest.test_case "small patterns skipped" `Quick test_small_patterns_not_cached;
           Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+          Alcotest.test_case "stats" `Quick test_stats;
           Alcotest.test_case "validation" `Quick test_observe_validation;
           Alcotest.test_case "unobserved unchanged" `Quick test_unobserved_matches_plain_estimator;
         ] );

@@ -97,6 +97,35 @@ let test_with_pool_returns_value () =
 let test_default_domains_positive () =
   Alcotest.(check bool) "default >= 1" true (Pool.default_domains () >= 1)
 
+let test_cost_hint_matches_sequential () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      let input = Array.init 300 (fun i -> i) in
+      (* Heavy skew: a handful of items dominate; non-positive hints must
+         clamp rather than corrupt the chunk cuts. *)
+      List.iter
+        (fun cost ->
+          Alcotest.check int_array "cost-chunked = sequential" (squares 300)
+            (Pool.parallel_chunked_map pool ~cost ~init:(fun () -> ()) (fun () i -> i * i) input))
+        [
+          (fun i -> if i mod 100 = 0 then 10_000 else 1);
+          (fun i -> i * i);
+          (fun _ -> 0);
+          (fun i -> -i);
+        ])
+
+let prop_cost_hints_never_change_results =
+  Helpers.qcheck_case ~name:"any cost hint yields the sequential result" ~count:30
+    QCheck2.Gen.(pair (int_range 0 120) (int_range 1 5))
+    (fun (n, divisor) ->
+      Pool.with_pool ~domains:3 (fun pool ->
+          let input = Array.init n (fun i -> (i * 7919) mod 251) in
+          Pool.parallel_chunked_map pool
+            ~cost:(fun x -> x / divisor)
+            ~init:(fun () -> ())
+            (fun () x -> x + 1)
+            input
+          = Array.map (fun x -> x + 1) input))
+
 let prop_chunk_sizes_never_change_results =
   Helpers.qcheck_case ~name:"any chunk size yields the sequential result" ~count:30
     QCheck2.Gen.(pair (int_range 1 17) (int_range 0 120))
@@ -121,6 +150,8 @@ let () =
           Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent_and_fenced;
           Alcotest.test_case "with_pool value" `Quick test_with_pool_returns_value;
           Alcotest.test_case "default domains" `Quick test_default_domains_positive;
+          Alcotest.test_case "cost hints" `Quick test_cost_hint_matches_sequential;
           prop_chunk_sizes_never_change_results;
+          prop_cost_hints_never_change_results;
         ] );
     ]

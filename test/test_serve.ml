@@ -1,0 +1,230 @@
+(* Tests for compiled plans, the plan cache, and the batch engine.  The
+   load-bearing property is bit-identity: a compiled plan (cold or
+   cached, sequential or parallel, with or without feedback) must return
+   the exact float of the direct estimator — not merely a close one. *)
+
+module Twig = Tl_twig.Twig
+module Summary = Tl_lattice.Summary
+module Estimator = Tl_core.Estimator
+module Plan = Tl_core.Estimator.Plan
+module Plan_cache = Tl_core.Plan_cache
+module Engine = Tl_serve.Engine
+module Pool = Tl_util.Pool
+module Value_tree = Tl_values.Value_tree
+module Value_estimator = Tl_values.Value_estimator
+
+let same_float a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let check_bits name a b =
+  Alcotest.(check bool) (Printf.sprintf "%s: %h = %h" name a b) true (same_float a b)
+
+let schemes =
+  [
+    Estimator.Recursive;
+    Estimator.Recursive_voting;
+    Estimator.Fixed_size;
+    Estimator.Fixed_size_voting 1;
+    Estimator.Fixed_size_voting 5;
+  ]
+
+(* A deterministic feedback source covering both hit and miss paths;
+   keyed on interned ids so both estimation paths see identical answers
+   within one property evaluation. *)
+let extra key =
+  let id = Twig.Key.id key in
+  if id mod 3 = 0 then Some (0.5 +. float_of_int (Twig.Key.size key)) else None
+
+(* --- plan vs direct estimator ------------------------------------------------ *)
+
+let prop_plan_matches_direct =
+  Helpers.qcheck_case ~name:"plan eval is bit-identical to direct estimate" ~count:40
+    QCheck2.Gen.(pair (Helpers.tree_gen ~max_nodes:24) (Helpers.twig_gen ~nlabels:6 ~max_nodes:9 ()))
+    (fun (tree, twig) ->
+      List.for_all
+        (fun k ->
+          let summary = Summary.build ~k tree in
+          List.for_all
+            (fun scheme ->
+              let plan = Plan.compile summary scheme twig in
+              same_float (Estimator.estimate summary scheme twig) (Plan.eval plan)
+              && same_float
+                   (Estimator.estimate ~extra summary scheme twig)
+                   (Plan.eval ~extra plan)
+              (* A second eval must not be perturbed by the first. *)
+              && same_float (Estimator.estimate summary scheme twig) (Plan.eval plan))
+            schemes)
+        [ 2; 3 ])
+
+let test_plan_accessors () =
+  let tree = Helpers.tree_of Helpers.fig11_spec in
+  let summary = Summary.build ~k:3 tree in
+  let twig = Helpers.twig_of_string tree "a(b(c,d))" in
+  let plan = Plan.compile summary Estimator.Recursive_voting twig in
+  Alcotest.(check bool) "scheme" true (Plan.scheme plan = Estimator.Recursive_voting);
+  Alcotest.(check bool)
+    "root key" true
+    (Twig.Key.id (Plan.root_key plan) = Twig.Key.id (Twig.key (Twig.canonicalize twig)));
+  Alcotest.(check bool) "has slots" true (Plan.slot_count plan >= 1);
+  (* The worked fig11 value survives compilation. *)
+  check_bits "voting value" 7.0 (Plan.eval plan)
+
+let test_plan_probe_reports_without_perturbing () =
+  let tree = Helpers.tree_of Helpers.fig11_spec in
+  let summary = Summary.build ~k:3 tree in
+  let twig = Helpers.twig_of_string tree "a(b(c,d),b)" in
+  let plan = Plan.compile summary Estimator.Recursive_voting twig in
+  let events = ref 0 in
+  let probe =
+    {
+      Estimator.on_lookup = (fun _ _ -> incr events);
+      on_pair = (fun ~parent:_ ~t1:_ ~t2:_ ~cap:_ ~twin:_ ~e1:_ ~e2:_ ~ec:_ ~value:_ -> incr events);
+      on_value = (fun _ _ -> incr events);
+      on_cover_step = (fun ~block:_ ~overlap:_ ~twins:_ ~num:_ ~den:_ ~acc:_ -> incr events);
+    }
+  in
+  check_bits "probe does not change the value" (Plan.eval plan) (Plan.eval ~probe plan);
+  Alcotest.(check bool) "probe saw the evaluation" true (!events > 0)
+
+(* --- plan cache ------------------------------------------------------------- *)
+
+let test_plan_cache_interns () =
+  let tree = Helpers.tree_of Helpers.fig11_spec in
+  let cache = Plan_cache.create ~capacity:8 (Summary.build ~k:3 tree) in
+  let twig = Helpers.twig_of_string tree "a(b(c,d))" in
+  let p1 = Plan_cache.plan cache Estimator.Recursive twig in
+  let p2 = Plan_cache.plan cache Estimator.Recursive twig in
+  Alcotest.(check bool) "same compiled plan" true (p1 == p2);
+  let p3 = Plan_cache.plan cache Estimator.Fixed_size twig in
+  Alcotest.(check bool) "schemes keyed apart" true (p1 != p3);
+  let s = Plan_cache.stats cache in
+  Alcotest.(check int) "two plans interned" 2 s.Plan_cache.size;
+  Alcotest.(check int) "one reuse" 1 s.Plan_cache.hits;
+  Alcotest.(check int) "two compiles" 2 s.Plan_cache.misses
+
+let test_plan_cache_eviction_bounded () =
+  let tree = Helpers.tree_of Helpers.fig11_spec in
+  let cache = Plan_cache.create ~capacity:2 ~shard_capacity:2 (Summary.build ~k:3 tree) in
+  let queries = [ "a(b(c,d))"; "a(b(c),b(d))"; "a(b,b,b,b)"; "a(b(c,c,d))" ] in
+  List.iter
+    (fun q -> ignore (Plan_cache.plan cache Estimator.Recursive (Helpers.twig_of_string tree q)))
+    queries;
+  let s = Plan_cache.stats cache in
+  Alcotest.(check int) "bounded" 2 s.Plan_cache.size;
+  Alcotest.(check int) "evictions recorded" 2 s.Plan_cache.evictions
+
+(* --- batch engine ------------------------------------------------------------ *)
+
+let fig11_queries = [ "a(b(c,d))"; "a(b(c),b(d))"; "a(b,b)"; "b(c,d)"; "a(b(c,d),b)" ]
+
+let test_batch_matches_direct () =
+  let tree = Helpers.tree_of Helpers.fig11_spec in
+  let summary = Summary.build ~k:3 tree in
+  let engine = Engine.create summary in
+  let distinct = Array.of_list (List.map (Helpers.twig_of_string tree) fig11_queries) in
+  (* A skewed batch: every query appears many times. *)
+  (* A skewed batch hitting every distinct query (7 generates mod 5). *)
+  let batch = Array.init 60 (fun i -> distinct.(i * 7 mod Array.length distinct)) in
+  let results = Engine.batch engine batch in
+  Array.iteri
+    (fun i twig ->
+      check_bits
+        (Printf.sprintf "query %d" i)
+        (Estimator.estimate summary Tl_core.Treelattice.default_scheme twig)
+        results.(i))
+    batch;
+  let s = Engine.stats engine in
+  Alcotest.(check int) "distinct compiles only" (Array.length distinct) s.Plan_cache.misses;
+  (* A warm re-run is served entirely from the cache. *)
+  let again = Engine.batch engine batch in
+  Alcotest.(check bool) "warm = cold" true (Array.for_all2 same_float results again);
+  Alcotest.(check bool) "cache hits recorded" true ((Engine.stats engine).Plan_cache.hits > 0)
+
+let prop_parallel_batch_matches_sequential =
+  Helpers.qcheck_case ~name:"parallel warm/cold batches match sequential" ~count:12
+    QCheck2.Gen.(
+      pair (Helpers.tree_gen ~max_nodes:20)
+        (array_size (return 40) (Helpers.twig_gen ~nlabels:6 ~max_nodes:7 ())))
+    (fun (tree, batch) ->
+      let summary = Summary.build ~k:2 tree in
+      let sequential = Engine.batch (Engine.create summary) batch in
+      Pool.with_pool ~domains:4 (fun pool ->
+          let cold_engine = Engine.create summary in
+          let cold = Engine.batch ~pool cold_engine batch in
+          let warm = Engine.batch ~pool cold_engine batch in
+          Array.for_all2 same_float sequential cold && Array.for_all2 same_float sequential warm))
+
+let test_batch_with_extra_matches_direct () =
+  let tree = Helpers.tree_of Helpers.fig11_spec in
+  let summary = Summary.build ~k:3 tree in
+  let engine = Engine.create summary in
+  let batch = Array.of_list (List.map (Helpers.twig_of_string tree) fig11_queries) in
+  let results = Engine.batch ~extra engine batch in
+  Array.iteri
+    (fun i twig ->
+      check_bits
+        (Printf.sprintf "query %d with feedback" i)
+        (Estimator.estimate ~extra summary Tl_core.Treelattice.default_scheme twig)
+        results.(i))
+    batch
+
+let test_batch_values_matches_value_estimator () =
+  let vtree =
+    Value_tree.of_xml
+      (Tl_xml.Xml_dom.parse_string
+         "<store><book><title>ocaml</title><price>5</price></book><book><title>xml</title><price>7</price></book><journal><title>xml</title></journal></store>")
+  in
+  let ve = Value_estimator.create ~k:3 vtree in
+  let engine = Engine.create (Value_estimator.structural ve) in
+  let intern = Tl_tree.Data_tree.label_of_string (Value_tree.tree vtree) in
+  let parse q =
+    match Tl_values.Value_query.parse ~intern q with Ok v -> v | Error m -> failwith m
+  in
+  let queries =
+    Array.of_list
+      (List.map parse
+         [
+           "book(title=\"ocaml\")";
+           "book(title,price=\"7\")";
+           "book(title=\"xml\",price)";
+           "store(book(title=\"ocaml\"))";
+           "book(title=\"ocaml\")";
+           "journal(title=\"nope\")";
+         ])
+  in
+  let results = Engine.batch_values engine (Value_estimator.values ve) queries in
+  Array.iteri
+    (fun i q ->
+      check_bits (Printf.sprintf "value query %d" i) (Value_estimator.estimate ve q) results.(i))
+    queries
+
+let test_engine_estimate_single () =
+  let tree = Helpers.tree_of Helpers.fig11_spec in
+  let tl = Tl_core.Treelattice.build ~k:3 tree in
+  let engine = Engine.of_treelattice tl in
+  let twig = Helpers.twig_of_string tree "a(b(c,d))" in
+  check_bits "engine = front-end" (Tl_core.Treelattice.estimate tl twig) (Engine.estimate engine twig);
+  check_bits "scheme override" 4.0 (Engine.estimate ~scheme:Estimator.Recursive engine twig)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "plan",
+        [
+          prop_plan_matches_direct;
+          Alcotest.test_case "accessors and fig11 value" `Quick test_plan_accessors;
+          Alcotest.test_case "probe" `Quick test_plan_probe_reports_without_perturbing;
+        ] );
+      ( "plan_cache",
+        [
+          Alcotest.test_case "interning" `Quick test_plan_cache_interns;
+          Alcotest.test_case "eviction bounded" `Quick test_plan_cache_eviction_bounded;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "batch = direct" `Quick test_batch_matches_direct;
+          prop_parallel_batch_matches_sequential;
+          Alcotest.test_case "batch with feedback" `Quick test_batch_with_extra_matches_direct;
+          Alcotest.test_case "value batches" `Quick test_batch_values_matches_value_estimator;
+          Alcotest.test_case "single estimate" `Quick test_engine_estimate_single;
+        ] );
+    ]

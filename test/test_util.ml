@@ -328,6 +328,90 @@ let prop_shuffle_permutation =
       Array.sort compare original;
       copy = original)
 
+(* --- Lru ----------------------------------------------------------------- *)
+
+module Lru_int = Tl_util.Lru.Make (struct
+  type t = int
+
+  let equal = Int.equal
+
+  let hash = Hashtbl.hash
+end)
+
+let test_lru_basic_and_eviction () =
+  let c = Lru_int.create ~capacity:2 in
+  Lru_int.add c 1 "a";
+  Lru_int.add c 2 "b";
+  Alcotest.(check (option string)) "find 1" (Some "a") (Lru_int.find c 1);
+  (* 2 is now least recent; inserting 3 must evict it. *)
+  Lru_int.add c 3 "c";
+  Alcotest.(check bool) "2 evicted" false (Lru_int.mem c 2);
+  Alcotest.(check bool) "1 survived" true (Lru_int.mem c 1);
+  Alcotest.(check int) "size bounded" 2 (Lru_int.size c);
+  let s = Lru_int.stats c in
+  Alcotest.(check int) "hits" 1 s.Lru_int.hits;
+  Alcotest.(check int) "evictions" 1 s.Lru_int.evictions;
+  Alcotest.(check (option string)) "miss" None (Lru_int.find c 2);
+  Alcotest.(check int) "misses" 1 (Lru_int.stats c).Lru_int.misses
+
+let test_lru_replace_remove_clear () =
+  let c = Lru_int.create ~capacity:3 in
+  Lru_int.add c 1 "a";
+  Lru_int.add c 1 "a'";
+  Alcotest.(check int) "replace keeps one entry" 1 (Lru_int.size c);
+  Alcotest.(check (option string)) "peek sees replacement" (Some "a'") (Lru_int.peek c 1);
+  Lru_int.remove c 1;
+  Alcotest.(check int) "removed" 0 (Lru_int.size c);
+  Lru_int.remove c 1;
+  Lru_int.add c 2 "b";
+  Lru_int.add c 3 "c";
+  Alcotest.(check (list int)) "fold most-recent-first" [ 3; 2 ]
+    (List.rev (Lru_int.fold (fun k _ acc -> k :: acc) c []));
+  Lru_int.clear c;
+  Alcotest.(check int) "cleared" 0 (Lru_int.size c);
+  Alcotest.check_raises "capacity validated" (Invalid_argument "Lru.create: capacity must be >= 1")
+    (fun () -> ignore (Lru_int.create ~capacity:0))
+
+(* Model-based: the intrusive list must agree with a naive reference LRU
+   (assoc list, most recent first) under arbitrary add/find/remove mixes. *)
+let prop_lru_matches_reference_model =
+  Helpers.qcheck_case ~name:"lru agrees with a naive reference model" ~count:200
+    QCheck2.Gen.(
+      pair (int_range 1 5)
+        (list_size (int_range 0 60) (pair (int_range 0 2) (int_range 0 9))))
+    (fun (capacity, ops) ->
+      let c = Lru_int.create ~capacity in
+      let model = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun (op, key) ->
+          match op with
+          | 0 ->
+            let expected =
+              match List.assoc_opt key !model with
+              | Some v ->
+                model := (key, v) :: List.remove_assoc key !model;
+                Some v
+              | None -> None
+            in
+            if Lru_int.find c key <> expected then ok := false
+          | 1 ->
+            let v = string_of_int key in
+            if List.mem_assoc key !model then model := (key, v) :: List.remove_assoc key !model
+            else begin
+              if List.length !model >= capacity then
+                model := List.filteri (fun i _ -> i < capacity - 1) !model;
+              model := (key, v) :: !model
+            end;
+            Lru_int.add c key v
+          | _ ->
+            model := List.remove_assoc key !model;
+            Lru_int.remove c key)
+        ops;
+      !ok
+      && Lru_int.size c = List.length !model
+      && List.for_all (fun (k, v) -> Lru_int.peek c k = Some v) !model)
+
 let () =
   Alcotest.run "util"
     [
@@ -385,4 +469,10 @@ let () =
           Alcotest.test_case "cells" `Quick test_table_cells;
         ] );
       ("timer", [ Alcotest.test_case "timing" `Quick test_timer ]);
+      ( "lru",
+        [
+          Alcotest.test_case "basic and eviction" `Quick test_lru_basic_and_eviction;
+          Alcotest.test_case "replace/remove/clear" `Quick test_lru_replace_remove_clear;
+          prop_lru_matches_reference_model;
+        ] );
     ]
