@@ -358,7 +358,39 @@ let run_throughput ~jobs pool suite =
               ~metric:(Printf.sprintf "qps_eval_%ddomains" jobs)
               ~value:(qps m par_ms) ~unit:"qps" ~ms:par_total;
             record ~experiment:"throughput" ~dataset:name ~metric:"domain_scaling_speedup"
-              ~value:scaling ~unit:"ratio" ~ms:(seq_total +. par_total)
+              ~value:scaling ~unit:"ratio" ~ms:(seq_total +. par_total);
+            (* The same parallel evaluation feeding from a live Adaptive
+               cache — no caller-side lock now that the cache guards its
+               LRU internally.  This row prices that mutex: every
+               decomposition step of every query on every domain goes
+               through one contended lookup. *)
+            let adaptive =
+              let tl = Tl_core.Treelattice.of_summary env.Experiments.tree summary in
+              let a = Tl_core.Adaptive.create ~capacity:1024 tl in
+              Array.iteri
+                (fun i tw ->
+                  if i < 64 then Tl_core.Adaptive.observe a tw (2 * Tl_twig.Twig.size tw))
+                scaling_batch;
+              a
+            in
+            let extra = Tl_core.Adaptive.lookup adaptive in
+            let fb_seq_ms, fb_seq_total =
+              best_of_reps (fun () -> ignore (Engine.batch ~extra warm_engine scaling_batch))
+            in
+            let fb_par_ms, fb_par_total =
+              best_of_reps (fun () -> ignore (Engine.batch ~pool ~extra warm_engine scaling_batch))
+            in
+            let fb_scaling = qps m fb_par_ms /. Float.max 1e-9 (qps m fb_seq_ms) in
+            Printf.printf
+              "  %-8s adaptive feedback:   1 domain %9.0f qps   %d domains %9.0f qps   scaling %5.2fx\n%!"
+              name (qps m fb_seq_ms) jobs (qps m fb_par_ms) fb_scaling;
+            record ~experiment:"throughput" ~dataset:name ~metric:"qps_feedback_1domain"
+              ~value:(qps m fb_seq_ms) ~unit:"qps" ~ms:fb_seq_total;
+            record ~experiment:"throughput" ~dataset:name
+              ~metric:(Printf.sprintf "qps_feedback_%ddomains" jobs)
+              ~value:(qps m fb_par_ms) ~unit:"qps" ~ms:fb_par_total;
+            record ~experiment:"throughput" ~dataset:name ~metric:"feedback_scaling_speedup"
+              ~value:fb_scaling ~unit:"ratio" ~ms:(fb_seq_total +. fb_par_total)
           end
         end;
         let s = Engine.stats engine in

@@ -411,8 +411,17 @@ let batch_cmd =
       & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
       & info [ "format" ] ~docv:"FMT" ~doc:"Output format: table or json.")
   in
-  let run obs xml k scheme jobs queries_file format =
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Abort on the first malformed query line instead of skipping it.")
+  in
+  let run obs xml k scheme jobs queries_file format strict =
     with_obs obs @@ fun () ->
+    let source = match queries_file with None -> "<stdin>" | Some path -> path in
+    (* Lines keep their 1-based position in the source file so diagnostics
+       can say file:line even after blank/comment lines are dropped. *)
     let lines =
       let read_all ic =
         let rec go acc = match input_line ic with
@@ -429,8 +438,8 @@ let batch_cmd =
           Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_all ic)
       in
       List.filter
-        (fun l -> l <> "" && l.[0] <> '#')
-        (List.map String.trim raw)
+        (fun (_, l) -> l <> "" && l.[0] <> '#')
+        (List.mapi (fun i l -> (i + 1, String.trim l)) raw)
     in
     Tl_util.Pool.with_pool ~domains:(max 1 jobs) @@ fun pool ->
     let tree = load_tree xml in
@@ -463,23 +472,36 @@ let batch_cmd =
         if String.length line > 0 && line.[0] = '/' then (from_xpath, from_twig)
         else (from_twig, from_xpath)
       in
+      (* When both syntaxes reject the line, diagnose with the parser the
+         line looks like it was written for. *)
       match first () with
-      | Ok parsed -> parsed
-      | Error _ -> (
-        match second () with
-        | Ok parsed -> parsed
-        | Error msg ->
-          Printf.eprintf "bad query %S: %s\n" line msg;
-          exit 1)
+      | Ok parsed -> Ok parsed
+      | Error msg -> ( match second () with Ok parsed -> Ok parsed | Error _ -> Error msg)
     in
-    let parsed = Array.of_list (List.map parse lines) in
+    (* A malformed line is diagnosed as file:line and skipped, so one typo
+       does not discard a whole workload; --strict restores fail-fast.
+       Either way the exit code reports the failure. *)
+    let skipped = ref 0 in
+    let parsed =
+      Array.of_list
+        (List.filter_map
+           (fun (lineno, line) ->
+             match parse line with
+             | Ok p -> Some (line, p)
+             | Error msg ->
+               Printf.eprintf "%s:%d: bad query %S: %s\n%!" source lineno line msg;
+               if strict then exit 1;
+               incr skipped;
+               None)
+           lines)
+    in
     let engine = Tl_serve.Engine.of_treelattice ~scheme tl in
     let estimates, elapsed_ms =
       Tl_util.Timer.time_ms (fun () ->
-          Tl_serve.Engine.batch ~pool engine (Array.map fst parsed))
+          Tl_serve.Engine.batch ~pool engine (Array.map (fun (_, (twig, _)) -> twig) parsed))
     in
     let results =
-      Array.mapi (fun i line -> (line, (snd parsed.(i)) estimates.(i))) (Array.of_list lines)
+      Array.mapi (fun i (line, (_, transform)) -> (line, transform estimates.(i))) parsed
     in
     (match format with
     | `Table ->
@@ -520,14 +542,22 @@ let batch_cmd =
       "batch: %d queries (%d plans compiled, %d cache hits) in %.0f ms across %d domain(s)\n%!" n
       stats.Tl_core.Plan_cache.misses
       (stats.Tl_core.Plan_cache.hits + (n - stats.Tl_core.Plan_cache.misses))
-      elapsed_ms (Tl_util.Pool.domains pool)
+      elapsed_ms (Tl_util.Pool.domains pool);
+    if !skipped > 0 then begin
+      Printf.eprintf "batch: %d malformed line(s) skipped\n%!" !skipped;
+      exit 1
+    end
   in
   Cmd.v
     (Cmd.info "batch"
        ~doc:
          "Estimate a batch of twig/XPath queries through the compiled-plan cache: queries are \
-          deduplicated, compiled once each, and evaluated across -j domains.")
-    Term.(const run $ obs_term $ xml_arg $ k_arg $ scheme_arg $ jobs_arg $ queries_arg $ format_arg)
+          deduplicated, compiled once each, and evaluated across -j domains.  Malformed lines \
+          are reported as FILE:LINE on stderr and skipped (the exit code still reports the \
+          failure); $(b,--strict) aborts at the first one instead.")
+    Term.(
+      const run $ obs_term $ xml_arg $ k_arg $ scheme_arg $ jobs_arg $ queries_arg $ format_arg
+      $ strict_arg)
 
 (* --- prune ------------------------------------------------------------------- *)
 

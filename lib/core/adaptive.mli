@@ -7,7 +7,21 @@
     twigs the workload has already answered (query feedback).  Estimation
     consults the cache before the lattice at {e every} decomposition step,
     so an observed large twig also anchors estimates of its supertwigs and
-    of other twigs that decompose through it. *)
+    of other twigs that decompose through it.
+
+    {2 Thread safety}
+
+    The cache is domain-safe by default: every operation that touches the
+    LRU — {!lookup}, {!observe}, {!estimate}, {!cached_patterns},
+    {!hit_count}, {!stats} — runs under an internal lock, and each such
+    operation is linearizable.  In particular
+    [Tl_serve.Engine.batch ~pool ~extra:(lookup a)] over a multi-domain
+    pool needs no caller-side synchronization; concurrent lookups contend
+    only for the few pointer splices of a recency bump.  The one
+    exception is {!observe_exact}, whose exact count runs through the
+    base {!Treelattice.t}'s shared counting context: call it from the
+    domain that owns the treelattice (typically the feedback writer),
+    never from inside a parallel map. *)
 
 type t
 
@@ -30,16 +44,21 @@ val estimate_interval : t -> Tl_twig.Twig.t -> Estimator.interval
 val lookup : t -> Tl_twig.Twig.Key.t -> float option
 (** The cache as an {!Estimator.estimate} [?extra] source: the cached exact
     count of a pattern (bumping its recency), or [None].  Exposed so other
-    drivers can compose the cache with their own estimation calls. *)
+    drivers can compose the cache with their own estimation calls — safe
+    from any domain, including the workers of a
+    [Tl_serve.Engine.batch ~pool] evaluation. *)
 
 val observe : t -> Tl_twig.Twig.t -> int -> unit
 (** Record the true count of a query (e.g. after executing it).  Counts
     for patterns already inside the lattice are not cached — the summary
-    has them exactly.  Raises [Invalid_argument] on a negative count. *)
+    has them exactly.  Safe from any domain.  Raises [Invalid_argument] on
+    a negative count. *)
 
 val observe_exact : t -> Tl_twig.Twig.t -> int
 (** Compute the exact count against the base document, record it, and
-    return it — the "execute the query, learn from the answer" loop. *)
+    return it — the "execute the query, learn from the answer" loop.
+    {e Not} domain-safe (see the thread-safety note above): the exact
+    count shares the treelattice's counting buffers. *)
 
 val cached_patterns : t -> int
 
@@ -57,4 +76,13 @@ type stats = {
 val stats : t -> stats
 (** Counters of the underlying {!Tl_util.Lru} cache — the same shape
     {!Plan_cache.stats} reports, so serving dashboards can watch both
-    adaptive layers with one scrape. *)
+    adaptive layers with one scrape.  The snapshot is atomic: it is taken
+    under the cache lock, so [hits + misses] equals the number of
+    {!lookup} calls that have completed. *)
+
+val check_integrity : t -> (unit, string) result
+(** {!Tl_util.Lru.validate} under the cache lock: [Ok ()] unless the
+    intrusive recency list has been corrupted.  With the internal lock
+    this never fails; the concurrency stress tests assert it after
+    hammering the cache from a domain pool — the check that catches the
+    pre-lock unsynchronized design. *)

@@ -3,6 +3,7 @@ module Summary = Tl_lattice.Summary
 module Estimator = Tl_core.Estimator
 module Plan_cache = Tl_core.Plan_cache
 module Pool = Tl_util.Pool
+module Metrics = Tl_obs.Metrics
 
 type t = { scheme : Estimator.scheme; cache : Plan_cache.t }
 
@@ -18,9 +19,24 @@ let summary t = Plan_cache.summary t.cache
 
 let stats t = Plan_cache.stats t.cache
 
+(* An estimate is a count: always finite and >= 0.  A division-by-zero
+   inside a decomposition is short-circuited by the estimator itself, but
+   an [?extra] feedback source is caller code and can inject nan/infinity
+   (or a huge count that overflows a product).  The serving layer is the
+   boundary clients trust, so it clamps instead of leaking: non-finite
+   results become 0.0 and are counted under [estimates.nonfinite]
+   (Prometheus [tl_estimates_nonfinite]).  Metrics shards are per-domain,
+   so clamping inside a pooled batch is race-free. *)
+let sanitize v =
+  if Float.is_finite v then v
+  else begin
+    Metrics.incr "estimates.nonfinite";
+    0.0
+  end
+
 let estimate_key ?scheme ?extra t key =
   let scheme = Option.value scheme ~default:t.scheme in
-  Estimator.Plan.eval ?extra (Plan_cache.plan_key t.cache scheme key)
+  sanitize (Estimator.Plan.eval ?extra (Plan_cache.plan_key t.cache scheme key))
 
 let estimate ?scheme ?extra t twig =
   estimate_key ?scheme ?extra t (Twig.key (Twig.canonicalize twig))

@@ -5,15 +5,22 @@
     plan per distinct query, evaluate across a {!Tl_util.Pool} with
     cost-aware chunking, scatter back in input order.  Results are
     {e bit-identical} to calling {!Tl_core.Estimator.estimate} per query
-    — warm or cold, sequential or parallel, deduped or not.
+    — warm or cold, sequential or parallel, deduped or not — with one
+    deliberate exception: a non-finite per-query result (possible only
+    when an [?extra] feedback source injects nan/infinity or overflows a
+    product) is clamped to [0.0] and counted under the
+    [tl_estimates_nonfinite] metric, so the serving surface never leaks
+    nan or infinity to a client.
 
     Thread safety: one engine may serve many domains concurrently (the
-    plan cache is sharded for exactly that).  The [?extra] feedback
-    source, however, is called from every evaluating domain — pass a
-    domain-safe source when also passing a multi-domain [?pool].
-    {!Tl_core.Adaptive.lookup} mutates recency unsynchronized, so combine
-    it with parallel batches only behind the caller's lock, or evaluate
-    such batches sequentially. *)
+    plan cache is sharded for exactly that), and the serving stack is
+    safe by default end to end — {!Tl_core.Adaptive} locks internally,
+    so [batch ~pool ~extra:(Tl_core.Adaptive.lookup a)] composes without
+    caller-side synchronization.  A hand-written [?extra] source is
+    called from every evaluating domain and must itself be domain-safe
+    (a pure function, or a lock- or atomic-guarded structure); the
+    differential fuzz harness and the stress tests in
+    [test/test_serve.ml] exercise both shapes. *)
 
 type t
 

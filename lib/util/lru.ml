@@ -116,6 +116,46 @@ module Make (H : Hashtbl.HashedType) = struct
     in
     go init t.head
 
+  (* Walk the intrusive list both ways and reconcile it with the table.
+     Any unsynchronized concurrent mutation that corrupts the splicing —
+     lost nodes, dangling back-links, cycles — shows up here as an
+     [Error]; the walk is bounded by the table size so a cycle terminates
+     instead of hanging the checker. *)
+  let validate t =
+    let n = Table.length t.table in
+    let rec forward seen prev = function
+      | None ->
+        if seen <> n then
+          Error (Printf.sprintf "list holds %d node(s) but table holds %d" seen n)
+        else begin
+          match (t.tail, prev) with
+          | None, None -> Ok ()
+          | Some a, Some b when a == b -> Ok ()
+          | _ -> Error "tail does not point at the last node"
+        end
+      | Some node ->
+        if seen >= n then Error "recency list is longer than the table (cycle or stray node)"
+        else if
+          not
+            (match (node.prev, prev) with
+            | None, None -> true
+            | Some p, Some q -> p == q
+            | _ -> false)
+        then Error (Printf.sprintf "back-link mismatch at position %d" seen)
+        else begin
+          match Table.find_opt t.table node.nkey with
+          | Some owner when owner == node -> forward (seen + 1) (Some node) node.next
+          | Some _ -> Error "listed node is not the table's node for its key"
+          | None -> Error "listed node's key is missing from the table"
+        end
+    in
+    match forward 0 None t.head with
+    | Error _ as e -> e
+    | Ok () ->
+      if n > t.capacity then
+        Error (Printf.sprintf "size %d exceeds capacity %d" n t.capacity)
+      else Ok ()
+
   type stats = { size : int; capacity : int; hits : int; misses : int; evictions : int }
 
   let stats t =

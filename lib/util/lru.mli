@@ -9,7 +9,9 @@
     of stats, the same meaning of "oldest".
 
     A map is {e not} synchronized; share one across domains only behind a
-    caller-owned lock. *)
+    caller-owned lock — which is exactly what both named consumers do:
+    {!Tl_core.Plan_cache} guards its shared table with its mutex, and
+    {!Tl_core.Adaptive} wraps every cache operation in an internal lock. *)
 
 module Make (H : Hashtbl.HashedType) : sig
   type key = H.t
@@ -46,6 +48,14 @@ module Make (H : Hashtbl.HashedType) : sig
 
   val fold : (key -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
   (** Fold over the entries, most recent first. *)
+
+  val validate : 'a t -> (unit, string) result
+  (** Structural integrity check: the recency list must visit exactly the
+      table's entries, forward and backward links must agree, and the size
+      must respect the capacity.  Always [Ok] under the documented
+      single-owner discipline — the point of the check is to {e catch}
+      undisciplined sharing, so concurrency stress tests can assert that a
+      lock-wrapped map survives what an unsynchronized one would not. *)
 
   type stats = {
     size : int;

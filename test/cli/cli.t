@@ -83,6 +83,33 @@ lines, and agrees with the per-query subcommands:
   summary: built in X ms
   batch: 3 queries (1 plans compiled, 2 cache hits) in X ms across 1 domain(s)
 
+A malformed line is diagnosed with its file position and skipped; the
+good lines still estimate, and the exit code reports the failure:
+
+  $ printf 'open_auction(bidder)\n# comment\nno_such_label(\nopen_auction(bidder)\n' > mixed.txt
+  $ treelattice batch --xml auction.xml -k 3 --queries mixed.txt 2>errors.txt
+  query                 estimate
+  --------------------  --------
+  open_auction(bidder)    120.00
+  open_auction(bidder)    120.00
+  [1]
+  $ grep -E '^(mixed.txt:|batch: [0-9]+ malformed)' errors.txt
+  mixed.txt:3: bad query "no_such_label(": syntax error at offset 14: expected a tag name
+  batch: 1 malformed line(s) skipped
+
+Under --strict the same input aborts at the first bad line, before any
+estimates are printed:
+
+  $ treelattice batch --xml auction.xml -k 3 --queries mixed.txt --strict 2>strict.txt
+  [1]
+  $ grep '^mixed.txt:' strict.txt
+  mixed.txt:3: bad query "no_such_label(": syntax error at offset 14: expected a tag name
+
+Queries on stdin diagnose as <stdin>:
+
+  $ printf 'oops(\n' | treelattice batch --xml auction.xml -k 3 2>&1 >/dev/null | grep '^<stdin>'
+  <stdin>:1: bad query "oops(": syntax error at offset 5: expected a tag name
+
 Unknown experiment ids fail loudly:
 
   $ treelattice exp --quick no-such-experiment 2>&1 | tail -1

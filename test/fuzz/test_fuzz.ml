@@ -1,0 +1,63 @@
+(* Driver for the cross-layer differential fuzz harness (see tl_fuzz.ml).
+
+   Tier-1 (`dune runtest`) runs a fixed seeded budget so every push fuzzes
+   the same cases; CI adds a longer randomized budget in a separate step.
+   Knobs, all via the environment:
+
+     TL_FUZZ_CASES       number of cases (default 500)
+     TL_FUZZ_SEED        base seed; case i uses seed TL_FUZZ_SEED + i
+                         (default 20260808)
+     TL_FUZZ_JOBS        pool domains for the pooled-batch check (default 3)
+     TL_FUZZ_REPRO_FILE  also append failing reproducer lines to this file
+
+   On any mismatch the driver prints the full recipe (seed, k, tree, twig
+   set, by name) plus a copy-pastable one-line reproducer, and exits 1. *)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | None | Some "" -> default
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some n -> n
+    | None ->
+      Printf.eprintf "%s: expected an integer, got %S\n%!" name v;
+      exit 2)
+
+let () =
+  let cases = env_int "TL_FUZZ_CASES" 500 in
+  let base_seed = env_int "TL_FUZZ_SEED" 20260808 in
+  let jobs = max 1 (env_int "TL_FUZZ_JOBS" 3) in
+  let repro_file = Sys.getenv_opt "TL_FUZZ_REPRO_FILE" in
+  let failed = ref 0 in
+  Tl_util.Pool.with_pool ~domains:jobs @@ fun pool ->
+  for i = 0 to cases - 1 do
+    let seed = base_seed + i in
+    let case = Tl_fuzz.gen_case ~seed in
+    match Tl_fuzz.run_case ~pool case with
+    | [] -> ()
+    | failures ->
+      incr failed;
+      let repro =
+        Printf.sprintf "TL_FUZZ_SEED=%d TL_FUZZ_CASES=1 dune exec test/fuzz/test_fuzz.exe" seed
+      in
+      Printf.printf "FUZZ MISMATCH (case %d of %d)\n%s\n" (i + 1) cases
+        (Tl_fuzz.describe_case case);
+      List.iter
+        (fun (f : Tl_fuzz.failure) -> Printf.printf "  [%s] %s\n" f.Tl_fuzz.check f.Tl_fuzz.detail)
+        failures;
+      Printf.printf "  repro: %s\n%!" repro;
+      Option.iter
+        (fun path ->
+          let oc = open_out_gen [ Open_creat; Open_append ] 0o644 path in
+          Printf.fprintf oc "%s\n" repro;
+          close_out oc)
+        repro_file
+  done;
+  if !failed > 0 then begin
+    Printf.printf "fuzz: %d of %d case(s) diverged\n%!" !failed cases;
+    exit 1
+  end
+  else
+    Printf.printf
+      "fuzz: %d cases ok (schemes x {plan, direct, baseline, engine, io round-trip, exact<=k}, +/- extra)\n%!"
+      cases

@@ -104,6 +104,84 @@ let test_unobserved_matches_plain_estimator () =
   let twig = Helpers.twig_of_string (Treelattice.tree tl) "a(b(c),b(d))" in
   close "no feedback = plain estimate" (Treelattice.estimate tl twig) (Adaptive.estimate adaptive twig)
 
+(* --- concurrent feedback ------------------------------------------------------------ *)
+
+module Engine = Tl_serve.Engine
+module Pool = Tl_util.Pool
+
+(* Whatever interleaving a pooled batch produces, the post-batch stats
+   must balance: every lookup is either a hit or a miss, the cache never
+   outgrows its capacity, and the recency list stays well-formed. *)
+let prop_concurrent_feedback_invariants =
+  Helpers.qcheck_case ~name:"pooled feedback batches keep stats invariants" ~count:10
+    QCheck2.Gen.(
+      pair (Helpers.tree_gen ~max_nodes:20)
+        (array_size (return 24) (Helpers.twig_gen ~nlabels:6 ~max_nodes:7 ())))
+    (fun (tree, batch) ->
+      let tl = Treelattice.build ~k:2 tree in
+      let adaptive = Adaptive.create ~capacity:3 tl in
+      Array.iteri
+        (fun i tw -> if i mod 3 = 0 then Adaptive.observe adaptive tw ((Twig.size tw * 3) + 1))
+        batch;
+      let engine = Engine.of_treelattice tl in
+      let lookups = Atomic.make 0 in
+      let extra key =
+        Atomic.incr lookups;
+        Adaptive.lookup adaptive key
+      in
+      let before = Adaptive.stats adaptive in
+      let results = Pool.with_pool ~domains:4 (fun pool -> Engine.batch ~pool ~extra engine batch) in
+      let after = Adaptive.stats adaptive in
+      Array.for_all Float.is_finite results
+      && after.Adaptive.size <= after.Adaptive.capacity
+      && after.Adaptive.hits + after.Adaptive.misses
+         - (before.Adaptive.hits + before.Adaptive.misses)
+         = Atomic.get lookups
+      && Adaptive.check_integrity adaptive = Ok ())
+
+(* Lookups and observes racing from worker domains.  Exact counts are
+   precomputed on the owner domain (Treelattice.exact shares a counting
+   context and stays single-domain); workers then interleave observe and
+   lookup against one undersized cache, forcing eviction churn under
+   contention.  A surviving cached pattern must still answer with its
+   exact count — lost updates or crossed splices would surface here or in
+   check_integrity. *)
+let test_concurrent_lookup_observe_stress () =
+  let tl = fig11_tl () in
+  let adaptive = Adaptive.create ~capacity:3 tl in
+  let tree = Treelattice.tree tl in
+  let patterns =
+    Array.of_list
+      (List.map
+         (fun q ->
+           let tw = Helpers.twig_of_string tree q in
+           (Twig.key (Twig.canonicalize tw), tw, Treelattice.exact tl tw))
+         [ "a(b(c,d))"; "a(b(c),b(d))"; "a(b,b,b,b)"; "a(b(c,c,d))"; "a(b(c,d),b)"; "a(b(c,d,d))" ])
+  in
+  let work = Array.init 96 (fun i -> i) in
+  Pool.with_pool ~domains:4 (fun pool ->
+      for _ = 1 to 10 do
+        ignore
+          (Pool.parallel_map pool
+             (fun i ->
+               let key, tw, count = patterns.(i mod Array.length patterns) in
+               if i mod 4 = 0 then Adaptive.observe adaptive tw count
+               else ignore (Adaptive.lookup adaptive key))
+             work)
+      done);
+  (match Adaptive.check_integrity adaptive with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "corrupt LRU after mixed observe/lookup: %s" msg);
+  let s = Adaptive.stats adaptive in
+  Alcotest.(check bool) "size bounded" true (s.Adaptive.size <= s.Adaptive.capacity);
+  Alcotest.(check bool) "cache not empty" true (s.Adaptive.size > 0);
+  Array.iter
+    (fun (key, _, count) ->
+      match Adaptive.lookup adaptive key with
+      | Some v -> close "surviving pattern still exact" (float_of_int count) v
+      | None -> ())
+    patterns
+
 (* --- match enumeration ------------------------------------------------------------ *)
 
 let test_enumerate_fig1 () =
@@ -187,6 +265,12 @@ let () =
           Alcotest.test_case "stats" `Quick test_stats;
           Alcotest.test_case "validation" `Quick test_observe_validation;
           Alcotest.test_case "unobserved unchanged" `Quick test_unobserved_matches_plain_estimator;
+        ] );
+      ( "concurrency",
+        [
+          prop_concurrent_feedback_invariants;
+          Alcotest.test_case "mixed observe/lookup stress" `Quick
+            test_concurrent_lookup_observe_stress;
         ] );
       ( "match_enum",
         [

@@ -197,6 +197,88 @@ let test_batch_values_matches_value_estimator () =
       check_bits (Printf.sprintf "value query %d" i) (Value_estimator.estimate ve q) results.(i))
     queries
 
+(* The safe-by-default contract of the tentpole fix: a multi-domain batch
+   may feed from a live Adaptive cache with no caller-side lock.  Against
+   the pre-lock Adaptive this test corrupts the intrusive LRU (dangling
+   splices) and loses hit/miss increments; with the internal lock every
+   repetition must return the reference floats, the stats must account
+   for every lookup exactly, and the recency list must stay well-formed. *)
+let test_parallel_adaptive_feedback_stress () =
+  let tree = Helpers.tree_of Helpers.fig11_spec in
+  let tl = Tl_core.Treelattice.build ~k:3 tree in
+  let adaptive = Tl_core.Adaptive.create ~capacity:4 tl in
+  let observed =
+    [ "a(b(c,d))"; "a(b(c),b(d))"; "a(b,b,b,b)"; "a(b(c,c,d))"; "a(b(c,d),b)"; "a(b(c,d,d))" ]
+  in
+  (* More observed patterns than capacity, so recency churn and evictions
+     happen while workers race on the list. *)
+  List.iter
+    (fun q -> ignore (Tl_core.Adaptive.observe_exact adaptive (Helpers.twig_of_string tree q)))
+    observed;
+  let engine = Engine.of_treelattice tl in
+  let batch =
+    let distinct = Array.of_list (List.map (Helpers.twig_of_string tree) (observed @ fig11_queries)) in
+    Array.init 88 (fun i -> distinct.(i mod Array.length distinct))
+  in
+  (* Lookups mutate only recency and counters, never cached contents, so a
+     sequential reference run pins the floats every parallel run must
+     reproduce. *)
+  let reference = Engine.batch ~extra:(Tl_core.Adaptive.lookup adaptive) engine batch in
+  let lookups = Atomic.make 0 in
+  let extra key =
+    Atomic.incr lookups;
+    Tl_core.Adaptive.lookup adaptive key
+  in
+  let before = Tl_core.Adaptive.stats adaptive in
+  Pool.with_pool ~domains:4 (fun pool ->
+      for _ = 1 to 25 do
+        let results = Engine.batch ~pool ~extra engine batch in
+        Alcotest.(check bool)
+          "parallel batch = sequential reference" true
+          (Array.for_all2 same_float reference results)
+      done);
+  let after = Tl_core.Adaptive.stats adaptive in
+  (match Tl_core.Adaptive.check_integrity adaptive with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "corrupt LRU after parallel feedback: %s" msg);
+  Alcotest.(check bool) "size bounded" true (after.Tl_core.Adaptive.size <= after.Tl_core.Adaptive.capacity);
+  Alcotest.(check int) "hits + misses = lookups" (Atomic.get lookups)
+    (after.Tl_core.Adaptive.hits + after.Tl_core.Adaptive.misses
+    - (before.Tl_core.Adaptive.hits + before.Tl_core.Adaptive.misses))
+
+(* The serving layer must never leak nan/infinity, whatever a feedback
+   source injects: non-finite per-query results clamp to 0 and are counted
+   under estimates.nonfinite. *)
+let nonfinite_count () =
+  match List.assoc_opt "estimates.nonfinite" (Tl_obs.Metrics.snapshot ()).Tl_obs.Metrics.counters with
+  | Some n -> n
+  | None -> 0
+
+let test_batch_clamps_nonfinite () =
+  let tree = Helpers.tree_of Helpers.fig11_spec in
+  let summary = Summary.build ~k:3 tree in
+  let engine = Engine.create summary in
+  let twig = Helpers.twig_of_string tree "a(b(c,d),b)" in
+  let root_id = Twig.Key.id (Twig.key (Twig.canonicalize twig)) in
+  (* nan straight from the source at the root lookup. *)
+  let poison key = if Twig.Key.id key = root_id then Some Float.nan else None in
+  (* finite-but-huge counts for every sub-twig: the decomposition's
+     product overflows to infinity even though the source never returns a
+     non-finite float itself. *)
+  let overflow key = if Twig.Key.id key = root_id then None else Some 1e308 in
+  let direct = Estimator.estimate ~extra:overflow summary Tl_core.Treelattice.default_scheme twig in
+  Alcotest.(check bool) "direct path does overflow" true (direct = Float.infinity);
+  let before = nonfinite_count () in
+  let results = Engine.batch ~extra:poison engine [| twig |] in
+  check_bits "nan clamps to 0" 0.0 results.(0);
+  let results = Engine.batch ~extra:overflow engine [| twig |] in
+  check_bits "overflow clamps to 0" 0.0 results.(0);
+  Alcotest.(check int) "both clamps counted" (before + 2) (nonfinite_count ());
+  (* A finite batch does not touch the counter. *)
+  let before = nonfinite_count () in
+  ignore (Engine.batch ~extra engine [| twig |]);
+  Alcotest.(check int) "finite batch uncounted" before (nonfinite_count ())
+
 let test_engine_estimate_single () =
   let tree = Helpers.tree_of Helpers.fig11_spec in
   let tl = Tl_core.Treelattice.build ~k:3 tree in
@@ -224,7 +306,10 @@ let () =
           Alcotest.test_case "batch = direct" `Quick test_batch_matches_direct;
           prop_parallel_batch_matches_sequential;
           Alcotest.test_case "batch with feedback" `Quick test_batch_with_extra_matches_direct;
+          Alcotest.test_case "parallel adaptive feedback stress" `Quick
+            test_parallel_adaptive_feedback_stress;
           Alcotest.test_case "value batches" `Quick test_batch_values_matches_value_estimator;
+          Alcotest.test_case "non-finite clamped" `Quick test_batch_clamps_nonfinite;
           Alcotest.test_case "single estimate" `Quick test_engine_estimate_single;
         ] );
     ]

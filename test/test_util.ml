@@ -372,6 +372,19 @@ let test_lru_replace_remove_clear () =
   Alcotest.check_raises "capacity validated" (Invalid_argument "Lru.create: capacity must be >= 1")
     (fun () -> ignore (Lru_int.create ~capacity:0))
 
+let test_lru_validate () =
+  let c = Lru_int.create ~capacity:3 in
+  Alcotest.(check bool) "empty is valid" true (Lru_int.validate c = Ok ());
+  Lru_int.add c 1 "a";
+  Lru_int.add c 2 "b";
+  Lru_int.add c 3 "c";
+  ignore (Lru_int.find c 1);
+  Lru_int.add c 4 "d";
+  Lru_int.remove c 3;
+  Alcotest.(check bool) "valid after add/find/evict/remove" true (Lru_int.validate c = Ok ());
+  Lru_int.clear c;
+  Alcotest.(check bool) "valid after clear" true (Lru_int.validate c = Ok ())
+
 (* Model-based: the intrusive list must agree with a naive reference LRU
    (assoc list, most recent first) under arbitrary add/find/remove mixes. *)
 let prop_lru_matches_reference_model =
@@ -410,7 +423,8 @@ let prop_lru_matches_reference_model =
         ops;
       !ok
       && Lru_int.size c = List.length !model
-      && List.for_all (fun (k, v) -> Lru_int.peek c k = Some v) !model)
+      && List.for_all (fun (k, v) -> Lru_int.peek c k = Some v) !model
+      && Lru_int.validate c = Ok ())
 
 let () =
   Alcotest.run "util"
@@ -473,6 +487,7 @@ let () =
         [
           Alcotest.test_case "basic and eviction" `Quick test_lru_basic_and_eviction;
           Alcotest.test_case "replace/remove/clear" `Quick test_lru_replace_remove_clear;
+          Alcotest.test_case "validate" `Quick test_lru_validate;
           prop_lru_matches_reference_model;
         ] );
     ]
