@@ -406,6 +406,90 @@ let run_throughput ~jobs pool suite =
       end)
     (Experiments.envs suite)
 
+(* --- serving observability: audit overhead and drift-sampling cost ------- *)
+
+module Audit = Tl_serve.Audit
+module Monitor = Tl_serve.Monitor
+module Metrics = Tl_obs.Metrics
+
+let monitor_rates = [ 0.01; 0.10 ]
+
+(* The same warm zipf-skewed batch as the throughput section, served three
+   ways: bare, with the audit log attached (sample rate 0 — the cost of
+   instrumentation alone, budgeted at <= 5%), and with the drift monitor
+   sampling at each configured rate (the cost of buying ground truth).
+   The audit ring then yields the serving-latency quantile rows through
+   [Metrics.quantile] — the same interpolation the exporter's scrape
+   consumers apply to [tl_serve_latency_ns_bucket]. *)
+let run_observability suite =
+  print_string
+    (Tl_harness.Report.section "monitor_overhead"
+       "audited serving: instrumentation overhead and drift-sampling cost");
+  let scheme = Tl_core.Treelattice.default_scheme in
+  List.iter
+    (fun env ->
+      let name = env.Experiments.dataset.Dataset.name in
+      let summary = env.Experiments.summary in
+      let distinct =
+        Array.concat
+          (List.map
+             (fun (wl : Workload.t) ->
+               Array.map (fun (q : Workload.query) -> q.Workload.twig) wl.Workload.queries)
+             env.Experiments.workloads)
+      in
+      if Array.length distinct > 0 then begin
+        let nd = Array.length distinct in
+        let rng = Xorshift.create 97 in
+        let batch =
+          Array.init throughput_batch (fun _ -> distinct.(Xorshift.zipf rng ~n:nd ~s:1.1 - 1))
+        in
+        let n = Array.length batch in
+        let engine = Engine.create ~scheme summary in
+        ignore (Engine.batch engine batch);
+        let plain_ms, plain_total = best_of_reps (fun () -> ignore (Engine.batch engine batch)) in
+        let audit = Audit.create () in
+        ignore (Engine.batch ~audit engine batch);
+        let audit_ms, audit_total =
+          best_of_reps (fun () -> ignore (Engine.batch ~audit engine batch))
+        in
+        let overhead_pct = (audit_ms -. plain_ms) /. Float.max 1e-9 plain_ms *. 100.0 in
+        Printf.printf
+          "  %-8s bare %9.0f qps   audited %9.0f qps   audit overhead %+6.2f%%\n%!" name
+          (qps n plain_ms) (qps n audit_ms) overhead_pct;
+        record ~experiment:"monitor_overhead" ~dataset:name ~metric:"qps_bare"
+          ~value:(qps n plain_ms) ~unit:"qps" ~ms:plain_total;
+        record ~experiment:"monitor_overhead" ~dataset:name ~metric:"qps_audited/sample_0"
+          ~value:(qps n audit_ms) ~unit:"qps" ~ms:audit_total;
+        record ~experiment:"monitor_overhead" ~dataset:name ~metric:"audit_overhead_pct"
+          ~value:overhead_pct ~unit:"percent" ~ms:(plain_total +. audit_total);
+        let h = Audit.latency_histogram audit in
+        List.iter
+          (fun (q, label) ->
+            let v = Metrics.quantile h q in
+            if Float.is_finite v then begin
+              Printf.printf "  %-8s serve latency %s %9.0f ns\n%!" name label v;
+              record ~experiment:"monitor_overhead" ~dataset:name
+                ~metric:(Printf.sprintf "latency_%s_ns" label)
+                ~value:v ~unit:"ns" ~ms:0.0
+            end)
+          [ (0.50, "p50"); (0.90, "p90"); (0.99, "p99") ];
+        let oracle = Monitor.oracle_of_tree env.Experiments.tree in
+        List.iter
+          (fun rate ->
+            let monitor = Monitor.create ~sample_rate:rate ~oracle () in
+            ignore (Engine.batch ~audit ~monitor engine batch);
+            let ms, total =
+              best_of_reps (fun () -> ignore (Engine.batch ~audit ~monitor engine batch))
+            in
+            Printf.printf "  %-8s sampled %4.0f%%        %9.0f qps\n%!" name (rate *. 100.0)
+              (qps n ms);
+            record ~experiment:"monitor_overhead" ~dataset:name
+              ~metric:(Printf.sprintf "qps_audited/sample_%g" rate)
+              ~value:(qps n ms) ~unit:"qps" ~ms:total)
+          monitor_rates
+      end)
+    (Experiments.envs suite)
+
 (* --- phase 2: micro-benchmarks ------------------------------------------ *)
 
 (* A small fixed environment so micro-benchmarks are quick and stable. *)
@@ -566,7 +650,7 @@ let () =
       Printf.eprintf "--log-level: %s\n" msg;
       exit 2));
   let trace_file = arg_value "--trace" in
-  if Option.is_some trace_file then Tl_obs.Span.set_enabled true;
+  Option.iter Tl_obs.Span.set_sink trace_file;
   let config = if quick then Experiments.quick_config else Experiments.default_config in
   let config =
     match int_arg "--target" with
@@ -605,6 +689,7 @@ let () =
     Experiments.all_experiments;
     run_parallel_build ~jobs ~k:config.Experiments.k pool suite;
     run_throughput ~jobs pool suite;
+    run_observability suite;
     suite
   in
   run_estimation_latency suite;
@@ -612,13 +697,8 @@ let () =
   write_json ~jobs ~target:config.Experiments.target ~quick "BENCH_summary.json";
   Option.iter (write_json ~jobs ~target:config.Experiments.target ~quick) (arg_value "--json");
   write_metrics (Option.value ~default:"BENCH_metrics.prom" (arg_value "--metrics"));
-  Option.iter
-    (fun path ->
-      match open_out path with
-      | exception Sys_error msg -> Tl_obs.Log.err (fun m -> m "cannot write %s: %s" path msg)
-      | oc ->
-        let spans = Tl_obs.Span.dump_jsonl oc in
-        close_out oc;
-        Printf.printf "wrote %s (%d spans)\n%!" path spans;
-        print_string (Tl_obs.Span.flame ()))
-    trace_file
+  match Tl_obs.Span.close_sink () with
+  | Some (path, spans) ->
+    Printf.printf "wrote %s (%d spans)\n%!" path spans;
+    print_string (Tl_obs.Span.flame ())
+  | None -> ()

@@ -10,6 +10,7 @@
      xpath      estimate an XPath query (child steps + predicates)
      match      enumerate actual matches of a twig query
      batch      estimate many queries at once via compiled-plan caching
+     serve      long-lived serving loop with audit log, drift monitor, HTTP metrics
      plan       naive vs estimate-guided join plans
      values     estimate a twig query with value predicates
      prune      delta-prune a summary file
@@ -97,12 +98,14 @@ let obs_term =
   let make metrics trace level = (metrics, trace, level) in
   Term.(const make $ metrics $ trace $ level)
 
-(* Install the reporter and span recording before the command body, and
-   write the requested metrics/trace files afterwards — even when the
-   body exits through an exception. *)
+(* Install the reporter and span sink before the command body, and write
+   the requested metrics file afterwards — even when the body exits
+   through an exception.  The span sink is registered with
+   [Tl_obs.Span.set_sink], which also arranges an [at_exit] flush, so
+   traces survive even an [exit 1] path that skips the [finally]. *)
 let with_obs (metrics_file, trace_file, level) f =
   Tl_obs.Log.setup level;
-  if Option.is_some trace_file then Tl_obs.Span.set_enabled true;
+  Option.iter Tl_obs.Span.set_sink trace_file;
   let write_outputs () =
     Option.iter
       (fun path ->
@@ -110,13 +113,9 @@ let with_obs (metrics_file, trace_file, level) f =
         output_string oc (Tl_obs.Metrics.to_prometheus (Tl_obs.Metrics.snapshot ()));
         close_out oc)
       metrics_file;
-    Option.iter
-      (fun path ->
-        let oc = open_out path in
-        let spans = Tl_obs.Span.dump_jsonl oc in
-        close_out oc;
-        Tl_obs.Log.info (fun m -> m "wrote %d span(s) to %s" spans path))
-      trace_file
+    match Tl_obs.Span.close_sink () with
+    | Some (path, spans) -> Tl_obs.Log.info (fun m -> m "wrote %d span(s) to %s" spans path)
+    | None -> ()
   in
   Fun.protect ~finally:write_outputs f
 
@@ -395,6 +394,36 @@ let match_cmd =
 
 (* --- batch ------------------------------------------------------------------- *)
 
+(* One query line, in twig or XPath syntax, becomes a twig plus a
+   post-estimate transform carrying the anchored-XPath scaling, so every
+   line agrees exactly with what the estimate/xpath subcommands print
+   for it.  Shared by the batch and serve subcommands. *)
+let parse_query_line tl tree line =
+  let anchored_scale twig estimate =
+    let root_label = Data_tree.label tree (Data_tree.root tree) in
+    if twig.Tl_twig.Twig.label <> root_label then 0.0
+    else
+      let occurrences = Array.length (Data_tree.nodes_with_label tree root_label) in
+      estimate /. float_of_int (max 1 occurrences)
+  in
+  let from_xpath () =
+    Result.map
+      (fun (anchored, twig) -> (twig, if anchored then anchored_scale twig else fun e -> e))
+      (Treelattice.parse_xpath tl line)
+  in
+  let from_twig () =
+    Result.map (fun twig -> (twig, fun e -> e)) (Treelattice.parse_query tl line)
+  in
+  let first, second =
+    if String.length line > 0 && line.[0] = '/' then (from_xpath, from_twig)
+    else (from_twig, from_xpath)
+  in
+  (* When both syntaxes reject the line, diagnose with the parser the
+     line looks like it was written for. *)
+  match first () with
+  | Ok parsed -> Ok parsed
+  | Error msg -> ( match second () with Ok parsed -> Ok parsed | Error _ -> Error msg)
+
 let batch_cmd =
   let queries_arg =
     Arg.(
@@ -448,36 +477,6 @@ let batch_cmd =
       Printf.eprintf "summary: built in %.0f ms\n%!" ms;
       Treelattice.of_summary tree summary
     in
-    (* Each line becomes a twig plus a post-estimate transform carrying the
-       anchored-XPath scaling, so every line agrees exactly with what the
-       estimate/xpath subcommands print for it. *)
-    let parse line =
-      let anchored_scale twig estimate =
-        let root_label = Data_tree.label tree (Data_tree.root tree) in
-        if twig.Tl_twig.Twig.label <> root_label then 0.0
-        else
-          let occurrences = Array.length (Data_tree.nodes_with_label tree root_label) in
-          estimate /. float_of_int (max 1 occurrences)
-      in
-      let from_xpath () =
-        Result.map
-          (fun (anchored, twig) ->
-            (twig, if anchored then anchored_scale twig else fun e -> e))
-          (Treelattice.parse_xpath tl line)
-      in
-      let from_twig () =
-        Result.map (fun twig -> (twig, fun e -> e)) (Treelattice.parse_query tl line)
-      in
-      let first, second =
-        if String.length line > 0 && line.[0] = '/' then (from_xpath, from_twig)
-        else (from_twig, from_xpath)
-      in
-      (* When both syntaxes reject the line, diagnose with the parser the
-         line looks like it was written for. *)
-      match first () with
-      | Ok parsed -> Ok parsed
-      | Error msg -> ( match second () with Ok parsed -> Ok parsed | Error _ -> Error msg)
-    in
     (* A malformed line is diagnosed as file:line and skipped, so one typo
        does not discard a whole workload; --strict restores fail-fast.
        Either way the exit code reports the failure. *)
@@ -486,7 +485,7 @@ let batch_cmd =
       Array.of_list
         (List.filter_map
            (fun (lineno, line) ->
-             match parse line with
+             match parse_query_line tl tree line with
              | Ok p -> Some (line, p)
              | Error msg ->
                Printf.eprintf "%s:%d: bad query %S: %s\n%!" source lineno line msg;
@@ -558,6 +557,237 @@ let batch_cmd =
     Term.(
       const run $ obs_term $ xml_arg $ k_arg $ scheme_arg $ jobs_arg $ queries_arg $ format_arg
       $ strict_arg)
+
+(* --- serve ------------------------------------------------------------------- *)
+
+let serve_cmd =
+  let queries_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "queries" ] ~docv:"FILE"
+          ~doc:
+            "Read queries from $(docv) — commonly a FIFO — instead of stdin.  One query per \
+             line, twig or XPath syntax; a blank line flushes the pending batch; '#' lines are \
+             skipped.")
+  in
+  let port_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Port for the HTTP endpoint (default 0 = ephemeral; see $(b,--port-file)).")
+  in
+  let port_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "port-file" ] ~docv:"FILE"
+          ~doc:"Write the bound endpoint port to $(docv) once listening.")
+  in
+  let sample_rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "sample-rate" ] ~docv:"R"
+          ~doc:
+            "Fraction of distinct served queries the drift monitor replays against the exact \
+             oracle (default 0 = monitoring off).")
+  in
+  let drift_threshold_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "drift-threshold" ] ~docv:"T"
+          ~doc:
+            "Raise the drift alarm when the sliding-window p90 relative error reaches $(docv) \
+             (default 1.0 = 100%).")
+  in
+  let drift_xml_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "drift-xml" ] ~docv:"FILE"
+          ~doc:
+            "Replay sampled queries against $(docv) instead of the serving document — the \
+             summary-went-stale scenario the drift monitor exists to catch.")
+  in
+  let audit_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "audit-out" ] ~docv:"FILE"
+          ~doc:"Write the retained audit records as JSON Lines to $(docv) on shutdown.")
+  in
+  let linger_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "linger" ] ~docv:"SECONDS"
+          ~doc:
+            "Keep the HTTP endpoint up for $(docv) seconds after the query input drains, so a \
+             scraper can collect the final state.")
+  in
+  let run obs xml k scheme jobs queries_file port port_file sample_rate drift_threshold drift_xml
+      audit_out linger =
+    with_obs obs @@ fun () ->
+    Tl_util.Pool.with_pool ~domains:(max 1 jobs) @@ fun pool ->
+    let tree = load_tree xml in
+    let tl =
+      let summary, ms = Tl_util.Timer.time_ms (fun () -> Summary.build ~pool ~k tree) in
+      Printf.eprintf "summary: built in %.0f ms\n%!" ms;
+      Treelattice.of_summary tree summary
+    in
+    let engine = Tl_serve.Engine.of_treelattice ~scheme tl in
+    let audit = Tl_serve.Audit.create () in
+    let monitor =
+      if sample_rate <= 0.0 then None
+      else begin
+        let oracle =
+          match drift_xml with
+          | None -> Tl_serve.Monitor.oracle_of_tree tree
+          | Some path ->
+            (* Twig labels are interned per document, so queries against
+               the serving tree must be relabeled before counting in the
+               drift document; a tag the drift document lacks interns
+               fresh there and counts zero, which is the right answer. *)
+            let drift_tree = load_tree path in
+            let count = Tl_serve.Monitor.oracle_of_tree drift_tree in
+            fun key ->
+              let remap l = Data_tree.intern_label drift_tree (Data_tree.label_name tree l) in
+              let twig =
+                Tl_twig.Twig.canonicalize
+                  (Tl_twig.Twig.map_labels remap (Tl_twig.Twig.Key.twig key))
+              in
+              count (Tl_twig.Twig.key twig)
+        in
+        Some (Tl_serve.Monitor.create ~sample_rate ~threshold:drift_threshold ~oracle ())
+      end
+    in
+    let audit_route () =
+      let buf = Buffer.create 4096 in
+      List.iter
+        (fun r ->
+          Buffer.add_string buf (Tl_serve.Audit.record_json r);
+          Buffer.add_char buf '\n')
+        (List.rev (Tl_serve.Audit.recent ~limit:256 audit));
+      Tl_obs.Exporter.text (Buffer.contents buf)
+    in
+    let healthz_route () =
+      match monitor with
+      | None -> Tl_obs.Exporter.text "ok\ndrift monitor off (enable with --sample-rate)\n"
+      | Some m ->
+        let s = Tl_serve.Monitor.stats m in
+        Tl_obs.Exporter.text
+          ~status:(if s.Tl_serve.Monitor.alarm then 503 else 200)
+          (Printf.sprintf "%s\n%s\n"
+             (if s.Tl_serve.Monitor.alarm then "drift" else "ok")
+             (Tl_serve.Monitor.pp_stats s))
+    in
+    let exporter =
+      Tl_obs.Exporter.start ~port
+        ~routes:[ ("/audit", audit_route); ("/healthz", healthz_route) ]
+        ()
+    in
+    let shutdown () =
+      Tl_obs.Exporter.stop exporter;
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          let n = Tl_serve.Audit.dump_jsonl audit oc in
+          close_out oc;
+          Printf.eprintf "serve: wrote %d audit record(s) to %s\n%!" n path)
+        audit_out
+    in
+    let served = ref 0 and batches = ref 0 and skipped = ref 0 in
+    (* [exit] would skip [Fun.protect]'s finalizer (it terminates without
+       unwinding), so the malformed-line exit happens after shutdown. *)
+    (Fun.protect ~finally:shutdown @@ fun () ->
+    let bound = Tl_obs.Exporter.port exporter in
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        Printf.fprintf oc "%d\n" bound;
+        close_out oc)
+      port_file;
+    Printf.eprintf "serve: listening on http://127.0.0.1:%d (/metrics /audit /healthz)\n%!" bound;
+    let ic, close_ic =
+      match queries_file with
+      | None -> (stdin, fun () -> ())
+      | Some path ->
+        let ic = open_in path in
+        (ic, fun () -> close_in ic)
+    in
+    (* The serving loop: accumulate lines, evaluate a batch on each blank
+       line and at end of input, answer on stdout as `query TAB estimate`
+       in input order. *)
+    let flush_batch pending =
+      let parsed =
+        Array.of_list
+          (List.filter_map
+             (fun line ->
+               match parse_query_line tl tree line with
+               | Ok p -> Some (line, p)
+               | Error msg ->
+                 Printf.eprintf "serve: bad query %S: %s\n%!" line msg;
+                 incr skipped;
+                 None)
+             (List.rev pending))
+      in
+      if Array.length parsed > 0 then begin
+        let estimates =
+          Tl_serve.Engine.batch ~pool ~audit ?monitor engine
+            (Array.map (fun (_, (twig, _)) -> twig) parsed)
+        in
+        Array.iteri
+          (fun i (line, (_, transform)) ->
+            Printf.printf "%s\t%.2f\n" line (transform estimates.(i)))
+          parsed;
+        flush Stdlib.stdout;
+        served := !served + Array.length parsed;
+        incr batches
+      end
+    in
+    let rec loop pending =
+      match input_line ic with
+      | exception End_of_file -> flush_batch pending
+      | line -> (
+        let line = String.trim line in
+        if line = "" then begin
+          flush_batch pending;
+          loop []
+        end
+        else
+          match line.[0] with
+          | '#' -> loop pending
+          | _ -> loop (line :: pending))
+    in
+    loop [];
+    close_ic ();
+    if linger > 0.0 then begin
+      Printf.eprintf "serve: input drained; endpoint up for another %.1f s\n%!" linger;
+      Thread.delay linger
+    end;
+    Printf.eprintf "serve: %d queries in %d batch(es), %d audit record(s) retained\n%!" !served
+      !batches (Tl_serve.Audit.size audit);
+    Option.iter
+      (fun m ->
+        Printf.eprintf "serve: %s\n%!" (Tl_serve.Monitor.pp_stats (Tl_serve.Monitor.stats m)))
+      monitor);
+    if !skipped > 0 then begin
+      Printf.eprintf "serve: %d malformed line(s) skipped\n%!" !skipped;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the estimation engine as a long-lived process: read query batches from stdin or a \
+          FIFO, answer on stdout, and expose live observability over HTTP — $(b,/metrics) \
+          (Prometheus text), $(b,/audit) (recent per-query audit records as JSON Lines), and \
+          $(b,/healthz) (503 while the accuracy-drift alarm is raised).  The drift monitor \
+          samples $(b,--sample-rate) of distinct queries and replays them against an exact \
+          oracle over the serving document (or $(b,--drift-xml) to detect a stale summary).")
+    Term.(
+      const run $ obs_term $ xml_arg $ k_arg $ scheme_arg $ jobs_arg $ queries_arg $ port_arg
+      $ port_file_arg $ sample_rate_arg $ drift_threshold_arg $ drift_xml_arg $ audit_out_arg
+      $ linger_arg)
 
 (* --- prune ------------------------------------------------------------------- *)
 
@@ -698,7 +928,7 @@ let main =
     (Cmd.info "treelattice" ~version:"1.0.0" ~doc)
     [
       generate_cmd; summarize_cmd; stats_cmd; mine_cmd; estimate_cmd; explain_cmd; xpath_cmd;
-      match_cmd; batch_cmd; plan_cmd; values_cmd; prune_cmd; exp_cmd;
+      match_cmd; batch_cmd; serve_cmd; plan_cmd; values_cmd; prune_cmd; exp_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -696,4 +696,22 @@ module Plan = struct
     | _ ->
       let extra = match extra with Some f -> f | None -> no_extra in
       eval_with plan ~extra ~probe
+
+  let eval_flagged ?extra plan =
+    match extra with
+    | None -> (plan.const_result, false)
+    | Some f ->
+      (* Wrap the source so the flag observes exactly the lookups [eval]
+         makes — the audit log's feedback-hit bit must agree with the
+         [estimator.extra_hits] counter semantics. *)
+      let hit = ref false in
+      let flagged key =
+        match f key with
+        | Some _ as answer ->
+          hit := true;
+          answer
+        | None -> None
+      in
+      let v = eval_with plan ~extra:flagged ~probe:None in
+      (v, !hit)
 end

@@ -167,6 +167,13 @@ module Plan : sig
       [probe] this returns the precomputed constant without evaluating
       anything. *)
 
+  val eval_flagged : ?extra:(Tl_twig.Twig.Key.t -> float option) -> t -> float * bool
+  (** [eval] plus the feedback-hit flag the serving audit log records:
+      [true] when the [extra] source answered at least one lookup of this
+      evaluation.  The float is bit-identical to [eval ?extra]; without
+      [extra] this is the const-result fast path and the flag is
+      [false]. *)
+
   val scheme : t -> scheme
 
   val root_key : t -> Tl_twig.Twig.Key.t

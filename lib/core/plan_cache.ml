@@ -71,14 +71,14 @@ let add_shared t k plan =
   let displaced = (Shared.stats t.shared).Shared.evictions - before in
   if displaced > 0 then Metrics.add "plan_cache.evictions" displaced
 
-let plan_key t scheme key =
+let plan_key_hit t scheme key =
   let k = (scheme, Twig.Key.id key) in
   let shard = Domain.DLS.get t.shard_key in
   match Tbl.find_opt shard.stbl k with
   | Some plan ->
     shard.local_hits <- shard.local_hits + 1;
     Metrics.incr "plan_cache.hits";
-    plan
+    (plan, true)
   | None ->
     Mutex.lock t.mutex;
     let shared = Shared.find t.shared k in
@@ -87,7 +87,7 @@ let plan_key t scheme key =
       Mutex.unlock t.mutex;
       Metrics.incr "plan_cache.hits";
       store_local t shard k plan;
-      plan
+      (plan, true)
     | None ->
       (* Compile outside the lock: concurrent first requests for the same
          query may compile twice, but the loser's plan is dropped in favor
@@ -107,7 +107,9 @@ let plan_key t scheme key =
       in
       Mutex.unlock t.mutex;
       store_local t shard k plan;
-      plan)
+      (plan, false))
+
+let plan_key t scheme key = fst (plan_key_hit t scheme key)
 
 let plan t scheme twig = plan_key t scheme (Twig.key (Twig.canonicalize twig))
 

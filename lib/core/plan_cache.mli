@@ -31,6 +31,11 @@ val plan_key : t -> Estimator.scheme -> Tl_twig.Twig.Key.t -> Estimator.Plan.t
 (** {!plan} for an already-interned canonical key (skips
     re-canonicalization — the batch engine's path). *)
 
+val plan_key_hit : t -> Estimator.scheme -> Tl_twig.Twig.Key.t -> Estimator.Plan.t * bool
+(** {!plan_key} plus the cache-hit flag the serving audit log records:
+    [true] when the plan was served from a shard or the shared table,
+    [false] when this call compiled it. *)
+
 type stats = {
   size : int;  (** plans interned in the shared table *)
   capacity : int;

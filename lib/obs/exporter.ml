@@ -1,0 +1,158 @@
+(* A minimal blocking HTTP/1.0 exposition endpoint.
+
+   One listening TCP socket on loopback, one background system thread
+   accepting connections and serving registered GET routes.  This is a
+   scrape target, not a web server: requests are read once (first line
+   parsed, headers ignored), responses carry Content-Length and close the
+   connection, and a slow or silent client is bounded by a receive
+   timeout so it can stall at most one scrape, never the process.
+
+   The threading stays confined to this module: nothing else in the
+   library starts threads, and the serving hot paths never synchronize
+   with the endpoint — a scrape reads the same deterministic
+   [Metrics.snapshot] merge every offline consumer reads. *)
+
+type response = { status : int; content_type : string; body : string }
+
+let text ?(status = 200) body = { status; content_type = "text/plain; version=0.0.4"; body }
+
+type t = {
+  sock : Unix.file_descr;
+  host : string;
+  port : int;
+  routes : (string * (unit -> response)) list;
+  stopping : bool Atomic.t;
+  mutable thread : Thread.t option;
+}
+
+let reason = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Status"
+
+let default_metrics () = text (Metrics.to_prometheus (Metrics.snapshot ()))
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    let n = Unix.write_substring fd s !off (len - !off) in
+    if n <= 0 then raise Exit;
+    off := !off + n
+  done
+
+(* Read until the end of the request line; headers past it are ignored.
+   Bounded by the buffer cap and the socket receive timeout. *)
+let read_request_line fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  let rec go () =
+    if Buffer.length buf < 8192 && not (String.contains (Buffer.contents buf) '\n') then begin
+      let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if n > 0 then begin
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+      end
+    end
+  in
+  (try go () with Unix.Unix_error _ | Exit -> ());
+  match String.index_opt (Buffer.contents buf) '\n' with
+  | None -> Buffer.contents buf
+  | Some i -> String.trim (String.sub (Buffer.contents buf) 0 i)
+
+let respond fd r =
+  let head =
+    Printf.sprintf "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+      r.status (reason r.status) r.content_type (String.length r.body)
+  in
+  write_all fd head;
+  write_all fd r.body
+
+let handle t fd =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0;
+  let line = read_request_line fd in
+  Metrics.incr "exporter.requests";
+  let resp =
+    match String.split_on_char ' ' line with
+    | meth :: target :: _ when String.uppercase_ascii meth = "GET" ->
+      let path =
+        match String.index_opt target '?' with
+        | None -> target
+        | Some i -> String.sub target 0 i
+      in
+      (match List.assoc_opt path t.routes with
+      | Some f -> (
+        try f ()
+        with e ->
+          Metrics.incr "exporter.errors";
+          { status = 500; content_type = "text/plain"; body = Printexc.to_string e ^ "\n" })
+      | None -> { status = 404; content_type = "text/plain"; body = "not found\n" })
+    | _ -> { status = 400; content_type = "text/plain"; body = "bad request\n" }
+  in
+  respond fd resp
+
+let serve_loop t =
+  while not (Atomic.get t.stopping) do
+    match Unix.accept t.sock with
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ()
+    | exception Unix.Unix_error _ -> Atomic.set t.stopping true
+    | fd, _ ->
+      (try handle t fd with Unix.Unix_error _ | Exit -> ());
+      (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  done
+
+(* A scraper that disconnects mid-response must surface as an EPIPE error
+   (which the accept loop already swallows), not as a process-killing
+   SIGPIPE — the default signal disposition would let any impatient
+   client take down the whole serving process. *)
+let ignore_sigpipe =
+  lazy (if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore)
+
+let start ?(host = "127.0.0.1") ?(port = 0) ?(routes = []) () =
+  Lazy.force ignore_sigpipe;
+  let addr = Unix.inet_addr_of_string host in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let ok =
+    try
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      Unix.bind sock (Unix.ADDR_INET (addr, port));
+      Unix.listen sock 16;
+      true
+    with e ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      raise e
+  in
+  ignore ok;
+  let port =
+    match Unix.getsockname sock with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  let routes =
+    if List.mem_assoc "/metrics" routes then routes else routes @ [ ("/metrics", default_metrics) ]
+  in
+  let t = { sock; host; port; routes; stopping = Atomic.make false; thread = None } in
+  t.thread <- Some (Thread.create serve_loop t);
+  Metrics.set_gauge "exporter.port" port;
+  Log.info (fun m -> m "exporter listening on http://%s:%d" host port);
+  t
+
+let port t = t.port
+
+(* A blocked [accept] is not reliably woken by closing its fd, so stop
+   nudges the loop with a throwaway loopback connection before joining. *)
+let stop t =
+  if not (Atomic.get t.stopping) then begin
+    Atomic.set t.stopping true;
+    (try
+       let c = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       (try Unix.connect c (Unix.ADDR_INET (Unix.inet_addr_of_string t.host, t.port))
+        with Unix.Unix_error _ -> ());
+       Unix.close c
+     with Unix.Unix_error _ -> ());
+    Option.iter Thread.join t.thread;
+    try Unix.close t.sock with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,37 @@
+(** A minimal blocking HTTP/1.0 exposition endpoint for live scraping.
+
+    {!start} binds a loopback TCP socket and serves registered GET routes
+    from a single background system thread; [/metrics] is always present
+    and renders the current {!Metrics.snapshot} through
+    {!Metrics.to_prometheus} — the {e same} renderer the bench and CLI
+    file writers use, so a scrape and a [--metrics] file can never
+    disagree in format.  Route callbacks run on the endpoint thread: keep
+    them read-only snapshots (metrics text, recent audit records, an
+    alarm flag), never mutations of serving state.
+
+    This module is the only place in the library that starts a thread or
+    touches a socket; everything else stays thread-free, and the serving
+    hot paths never synchronize with a scrape. *)
+
+type response = { status : int; content_type : string; body : string }
+
+val text : ?status:int -> string -> response
+(** A [text/plain] response (status 200 by default). *)
+
+type t
+
+val start :
+  ?host:string -> ?port:int -> ?routes:(string * (unit -> response)) list -> unit -> t
+(** Bind [host] (default ["127.0.0.1"]) on [port] (default [0] = an
+    ephemeral port, read back with {!port}), register [routes] (paths
+    must start with ['/']; query strings are stripped before matching),
+    and start the accept thread.  A route that raises answers 500 with
+    the exception text; unknown paths answer 404.  Raises [Unix_error]
+    when the bind fails (e.g. the port is taken). *)
+
+val port : t -> int
+(** The actual bound port — useful with [port:0]. *)
+
+val stop : t -> unit
+(** Stop accepting, join the endpoint thread, close the socket.
+    Idempotent. *)

@@ -195,38 +195,140 @@ let reset () =
       Hashtbl.reset s.hists)
     (all_shards ())
 
+(* --- quantiles ---------------------------------------------------------- *)
+
+(* Log-bucket interpolation: find the bucket holding the q-th ranked
+   observation, then place the value linearly inside the bucket's [lo, hi]
+   integer range.  The first and last buckets are tightened to the
+   recorded min/max, so quantiles never fall outside the observed range.
+   Accuracy is bounded by the bucket width (a factor of 2), which is the
+   histogram's resolution by construction. *)
+let quantile h q =
+  if h.h_observations = 0 then Float.nan
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let target = Float.max 1.0 (Float.ceil (q *. float_of_int h.h_observations)) in
+    let rec go cum = function
+      | [] -> float_of_int h.h_max
+      | (floor, count) :: rest ->
+        let cum' = cum + count in
+        if float_of_int cum' < target then go cum' rest
+        else begin
+          (* Integer values in this bucket lie in [floor, 2*floor - 1]
+             (bucket 0: [0, 1]); clamp to the observed extremes. *)
+          let lo = Float.max (float_of_int h.h_min) (float_of_int floor) in
+          let hi =
+            Float.min (float_of_int h.h_max)
+              (if floor = 0 then 1.0 else float_of_int ((2 * floor) - 1))
+          in
+          let frac = (target -. float_of_int cum) /. float_of_int count in
+          lo +. (frac *. Float.max 0.0 (hi -. lo))
+        end
+    in
+    go 0 h.h_buckets
+  end
+
 (* --- rendering ---------------------------------------------------------- *)
 
 let sanitize name =
   String.map (fun c -> match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c | _ -> '_') name
 
+(* Help strings for the # HELP exposition lines.  Subsystems register
+   their metrics with [describe]; the built-in table covers the
+   long-standing names so a default snapshot is fully annotated. *)
+let help_mutex = Mutex.create ()
+
+let help_table : (string, string) Hashtbl.t = Hashtbl.create 64
+
+let describe name help =
+  Mutex.lock help_mutex;
+  Hashtbl.replace help_table name help;
+  Mutex.unlock help_mutex
+
+let builtin_help =
+  [
+    ("baseline.estimator.decompositions", "Decompositions taken by the string-keyed baseline estimator");
+    ("baseline.estimator.lookups", "Sub-twig lookups in the string-keyed baseline estimator");
+    ("baseline.estimator.summary_hits", "Baseline lookups answered by the lattice summary");
+    ("estimates.nonfinite", "Non-finite serving estimates clamped to 0");
+    ("estimator.decompositions", "Sub-twig decompositions taken during estimation");
+    ("estimator.extra_hits", "Estimator lookups answered by the feedback source");
+    ("estimator.lookups", "Sub-twig lookups during estimation");
+    ("estimator.summary_hits", "Estimator lookups answered by the lattice summary");
+    ("estimator.true_zeros", "Lookups resolved as true zeros under a complete summary");
+    ("experiments.runs", "Experiment drivers executed");
+    ("match_count.calls", "Exact twig-count evaluations");
+    ("match_count.selectivity", "Distribution of exact twig counts");
+    ("miner.candidates_counted", "Candidate patterns whose support was counted");
+    ("miner.candidates_generated", "Candidate patterns generated by level-wise extension");
+    ("miner.level_patterns", "Patterns kept per mined lattice level");
+    ("miner.patterns_kept", "Patterns kept across all mined levels");
+    ("plan.compiles", "Estimation plans compiled");
+    ("plan_cache.evictions", "Plans displaced from the shared plan cache");
+    ("plan_cache.hits", "Plan lookups served without compiling");
+    ("plan_cache.misses", "Plan lookups that compiled");
+    ("summary.builds", "Lattice summaries constructed");
+    ("summary.entries", "Patterns stored in the most recent summary");
+    ("workload.queries_evaluated", "Workload queries evaluated by the harness");
+    ("xml.documents_parsed", "XML documents parsed");
+    ("xml.input_bytes", "Distribution of parsed XML document sizes");
+  ]
+
+let help_for name =
+  Mutex.lock help_mutex;
+  let registered = Hashtbl.find_opt help_table name in
+  Mutex.unlock help_mutex;
+  match registered with
+  | Some h -> h
+  | None -> (
+    match List.assoc_opt name builtin_help with
+    | Some h -> h
+    | None -> "TreeLattice metric " ^ name)
+
+(* One renderer for every exposition surface: the bench/CLI file writers
+   and the live {!Exporter} endpoint all call this, so their outputs can
+   never drift apart. *)
 let to_prometheus snap =
   let buf = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  let header name kind =
+    let p = "tl_" ^ sanitize name in
+    line "# HELP %s %s" p (help_for name);
+    line "# TYPE %s %s" p kind;
+    p
+  in
   List.iter
     (fun (name, v) ->
-      let p = "tl_" ^ sanitize name in
-      line "# TYPE %s counter" p;
+      let p = header name "counter" in
       line "%s %d" p v)
     snap.counters;
   List.iter
     (fun (name, v) ->
-      let p = "tl_" ^ sanitize name in
-      line "# TYPE %s gauge" p;
+      let p = header name "gauge" in
       line "%s %d" p v)
     snap.gauges;
   List.iter
     (fun (name, h) ->
-      let p = "tl_" ^ sanitize name in
-      line "# TYPE %s histogram" p;
+      let p = header name "histogram" in
+      (* Full cumulative series: every bucket boundary from 0 up to the
+         last non-empty bucket, empty buckets included, then +Inf. *)
+      let last_floor = List.fold_left (fun _ (floor, _) -> floor) 0 h.h_buckets in
       let cumulative = ref 0 in
-      List.iter
-        (fun (floor, count) ->
+      let remaining = ref h.h_buckets in
+      let i = ref 0 in
+      let continue = ref (h.h_observations > 0) in
+      while !continue do
+        let floor = bucket_floor !i in
+        (match !remaining with
+        | (f, count) :: rest when f = floor ->
           cumulative := !cumulative + count;
-          (* The bucket holding floor f covers values < 2f (or <= 1 for f = 0). *)
-          let le = if floor = 0 then 1 else (2 * floor) - 1 in
-          line "%s_bucket{le=\"%d\"} %d" p le !cumulative)
-        h.h_buckets;
+          remaining := rest
+        | _ -> ());
+        (* The bucket holding floor f covers values < 2f (or <= 1 for f = 0). *)
+        let le = if floor = 0 then 1 else (2 * floor) - 1 in
+        line "%s_bucket{le=\"%d\"} %d" p le !cumulative;
+        if floor >= last_floor || !i >= bucket_count - 1 then continue := false else Stdlib.incr i
+      done;
       line "%s_bucket{le=\"+Inf\"} %d" p h.h_observations;
       line "%s_sum %d" p h.h_sum;
       line "%s_count %d" p h.h_observations)

@@ -116,6 +116,50 @@ let dump_jsonl oc =
     spans;
   List.length spans
 
+(* The registered sink is drained exactly once — explicitly via
+   [close_sink], or by the [at_exit] hook when the process leaves through
+   [exit] (including the CLI's error paths), so a [--trace] file is never
+   left truncated or empty by an early exit.  Guarded by a mutex: the
+   at_exit hook and an explicit close can race only in pathological
+   nested-exit scenarios, but the guard makes close idempotent anyway. *)
+let sink_mutex = Mutex.create ()
+
+let sink : (string * out_channel) option ref = ref None
+
+let at_exit_registered = ref false
+
+let drain_sink () =
+  Mutex.lock sink_mutex;
+  let current = !sink in
+  sink := None;
+  Mutex.unlock sink_mutex;
+  match current with
+  | None -> None
+  | Some (path, oc) ->
+    let spans = dump_jsonl oc in
+    flush oc;
+    close_out_noerr oc;
+    Some (path, spans)
+
+let close_sink () = drain_sink ()
+
+let set_sink path =
+  let oc = open_out path in
+  Mutex.lock sink_mutex;
+  let previous = !sink in
+  sink := Some (path, oc);
+  if not !at_exit_registered then begin
+    at_exit_registered := true;
+    at_exit (fun () -> ignore (drain_sink ()))
+  end;
+  Mutex.unlock sink_mutex;
+  (match previous with
+  | None -> ()
+  | Some (_, old) ->
+    flush old;
+    close_out_noerr old);
+  set_enabled true
+
 (* --- flame summary ------------------------------------------------------ *)
 
 (* One row per distinct path: calls, total time, self time (total minus

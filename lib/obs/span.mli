@@ -41,6 +41,19 @@ val reset : unit -> unit
 val dump_jsonl : out_channel -> int
 (** Write {!finished} as JSON Lines; returns the number of spans. *)
 
+val set_sink : string -> unit
+(** Register a JSONL trace sink at the given path and enable span
+    recording.  The sink is written, flushed, and closed exactly once:
+    by {!close_sink}, or — if the process exits first, including via
+    [Stdlib.exit] from an error path — by an [at_exit] hook, so a
+    requested trace file can never be left truncated.  Registering a new
+    sink closes (without draining) the previous one. *)
+
+val close_sink : unit -> (string * int) option
+(** Drain the registered sink now: dump {!finished} into it, flush, close.
+    Returns the path and span count, or [None] when no sink is pending
+    (e.g. it was already drained).  Idempotent. *)
+
 val flame : unit -> string
 (** Aggregate finished spans by path into an indented table — calls,
     total, self, and mean milliseconds per span path. *)

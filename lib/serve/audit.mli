@@ -1,0 +1,97 @@
+(** The serving audit log: a lock-free ring buffer of per-query records.
+
+    Every query served through an instrumented {!Engine} entry point
+    leaves one record — canonical key id, scheme, returned estimate,
+    latency, whether the plan cache hit, whether the feedback source
+    answered, whether the non-finite clamp fired, and (when the drift
+    {!Monitor} sampled the query) the measured relative error.
+
+    Recording follows the {!Tl_obs.Metrics} sharding discipline: each
+    domain writes into a private ring in domain-local storage (one DLS
+    read, one atomic fetch-and-add for the admission sequence number, one
+    array store — no locks), so audit instrumentation is safe and cheap
+    inside a pooled batch evaluation.  The read-side views merge all
+    shards and sort on the unique sequence numbers; the record multiset
+    of a parallel batch equals the sequential one (modulo the
+    nondeterministic sequence and latency fields) — asserted by
+    [test/test_serve.ml].
+
+    Each ring holds the last [capacity] records of its domain; older
+    records are dropped (but still counted by {!total}).  Admissions are
+    also published to {!Tl_obs.Metrics} as the [audit.records] counter
+    and the [serve.latency_ns] histogram, so latency quantiles are
+    scrapeable without touching the log itself. *)
+
+type record = {
+  seq : int;  (** global admission order; unique per log *)
+  key_id : int;  (** {!Tl_twig.Twig.Key.id} of the canonical query *)
+  scheme : string;  (** {!Tl_core.Estimator.scheme_name} *)
+  estimate : float;  (** the value returned to the client (post-clamp) *)
+  latency_ns : int;
+  plan_hit : bool;  (** plan served from the cache (vs compiled) *)
+  feedback_hit : bool;  (** the [?extra] source answered >= 1 lookup *)
+  clamped : bool;  (** non-finite result clamped to 0.0 *)
+  rel_error : float;  (** monitor-measured relative error; [nan] unless sampled *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** An audit log holding up to [capacity] records {e per recording
+    domain} (default 4096).  Raises [Invalid_argument] when
+    [capacity < 1]. *)
+
+val capacity : t -> int
+
+val record :
+  t ->
+  key_id:int ->
+  scheme:string ->
+  estimate:float ->
+  latency_ns:int ->
+  plan_hit:bool ->
+  feedback_hit:bool ->
+  clamped:bool ->
+  rel_error:float ->
+  unit
+(** Admit one record on the calling domain's shard.  Lock-free; safe from
+    any domain, including pool workers mid-batch. *)
+
+val total : t -> int
+(** Records ever admitted (including those rings have since dropped). *)
+
+val size : t -> int
+(** Records currently held across all shards. *)
+
+val records : t -> record list
+(** All held records, merged across shards, oldest first (by [seq]).
+    Call between batches for an exact snapshot; concurrent recording can
+    only add or age out whole records, never tear one. *)
+
+val recent : ?limit:int -> t -> record list
+(** The newest [limit] (default 64) records, newest first. *)
+
+val top_slow : ?k:int -> t -> record list
+(** The [k] (default 10) slowest held records, slowest first. *)
+
+val top_uncertain : ?k:int -> t -> record list
+(** The [k] (default 10) worst-confidence held records: clamped records
+    first (maximally untrustworthy), then monitor-sampled records by
+    descending measured relative error.  Unsampled, unclamped records
+    never appear. *)
+
+val latency_histogram : t -> Tl_obs.Metrics.hist_snapshot
+(** The held records' latencies as a log-bucket histogram snapshot, ready
+    for {!Tl_obs.Metrics.quantile} — the bench's p50/p90/p99
+    serving-latency rows come from exactly this. *)
+
+val record_json : record -> string
+(** One record as a single-line JSON object ([rel_error] is [null] when
+    the monitor did not sample the query). *)
+
+val dump_jsonl : ?limit:int -> t -> out_channel -> int
+(** Write held records as JSON Lines, oldest first ([limit] restricts to
+    the newest records); returns the number written. *)
+
+val reset : t -> unit
+(** Drop all held records on every shard ({!total} keeps counting). *)

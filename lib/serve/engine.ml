@@ -34,12 +34,42 @@ let sanitize v =
     0.0
   end
 
-let estimate_key ?scheme ?extra t key =
-  let scheme = Option.value scheme ~default:t.scheme in
-  sanitize (Estimator.Plan.eval ?extra (Plan_cache.plan_key t.cache scheme key))
+(* The audited evaluation path.  It exists alongside the bare path (not
+   instead of it) so an engine without an audit log runs byte-for-byte
+   the code it ran before observability landed — the <= 5% overhead
+   budget is spent only when someone is listening.  [exact] is the drift
+   monitor's replayed truth for this query, when it sampled it. *)
+let eval_audited ~scheme ?extra ?exact t audit key =
+  let t0 = Tl_obs.Clock.now_ns () in
+  let plan, plan_hit = Plan_cache.plan_key_hit t.cache scheme key in
+  let raw, feedback_hit = Estimator.Plan.eval_flagged ?extra plan in
+  let clamped = not (Float.is_finite raw) in
+  let v =
+    if clamped then begin
+      Metrics.incr "estimates.nonfinite";
+      0.0
+    end
+    else raw
+  in
+  let latency_ns = Tl_obs.Clock.now_ns () - t0 in
+  let rel_error =
+    match exact with
+    | None -> Float.nan
+    | Some exact -> Float.abs (v -. exact) /. Float.max 1.0 (Float.abs exact)
+  in
+  Audit.record audit ~key_id:(Twig.Key.id key)
+    ~scheme:(Estimator.scheme_name scheme) ~estimate:v ~latency_ns ~plan_hit ~feedback_hit
+    ~clamped ~rel_error;
+  v
 
-let estimate ?scheme ?extra t twig =
-  estimate_key ?scheme ?extra t (Twig.key (Twig.canonicalize twig))
+let estimate_key ?scheme ?extra ?audit t key =
+  let scheme = Option.value scheme ~default:t.scheme in
+  match audit with
+  | None -> sanitize (Estimator.Plan.eval ?extra (Plan_cache.plan_key t.cache scheme key))
+  | Some audit -> eval_audited ~scheme ?extra t audit key
+
+let estimate ?scheme ?extra ?audit t twig =
+  estimate_key ?scheme ?extra ?audit t (Twig.key (Twig.canonicalize twig))
 
 (* Per-unique-query work for the pool's cost-aware chunking: decomposition
    work grows superlinearly with twig size, and a batch that mixes a few
@@ -50,7 +80,7 @@ let eval_cost key =
   let s = Twig.Key.size key in
   s * s
 
-let batch_keys ?pool ?scheme ?extra t keys =
+let batch_keys ?pool ?scheme ?extra ?audit ?monitor t keys =
   let scheme = Option.value scheme ~default:t.scheme in
   let n = Array.length keys in
   (* Serving batches repeat queries; evaluate each distinct key once and
@@ -71,26 +101,67 @@ let batch_keys ?pool ?scheme ?extra t keys =
       slot_of.(i) <- u
   done;
   let uniques = Array.of_list (List.rev !rev_uniques) in
-  let eval key = estimate_key ~scheme ?extra t key in
-  let unique_results =
-    match pool with
-    | Some pool when Pool.domains pool > 1 ->
-      Pool.parallel_chunked_map pool ~cost:eval_cost ~init:(fun () -> ()) (fun () -> eval) uniques
-    | _ -> Array.map eval uniques
+  (* Drift sampling happens here, on the caller domain, before the
+     parallel evaluation: [Monitor.consider] replays the exact oracle,
+     and neither Match_count contexts nor the adaptive layer are
+     domain-safe.  Workers only read the resulting array. *)
+  let exacts =
+    match monitor with
+    | None -> [||]
+    | Some m -> Array.map (fun key -> Monitor.consider m key) uniques
   in
+  let unique_results =
+    match audit with
+    | None ->
+      (* No audit log: this is the pre-observability path, unchanged. *)
+      let eval key = estimate_key ~scheme ?extra t key in
+      (match pool with
+      | Some pool when Pool.domains pool > 1 ->
+        Pool.parallel_chunked_map pool ~cost:eval_cost ~init:(fun () -> ()) (fun () -> eval)
+          uniques
+      | _ -> Array.map eval uniques)
+    | Some audit ->
+      let indexed = Array.mapi (fun u key -> (u, key)) uniques in
+      let eval (u, key) =
+        let exact = if u < Array.length exacts then exacts.(u) else None in
+        eval_audited ~scheme ?extra ?exact t audit key
+      in
+      (match pool with
+      | Some pool when Pool.domains pool > 1 ->
+        Pool.parallel_chunked_map pool
+          ~cost:(fun (_, key) -> eval_cost key)
+          ~init:(fun () -> ())
+          (fun () -> eval)
+          indexed
+      | _ -> Array.map eval indexed)
+  in
+  (* Monitor observations run after the batch, on the caller domain, in
+     unique order: window contents, gauges, and the alarm are then
+     deterministic for a fixed seed and query sequence even when the
+     evaluation itself ran on a pool. *)
+  (match monitor with
+  | None -> ()
+  | Some m ->
+    Array.iteri
+      (fun u exact ->
+        match exact with
+        | None -> ()
+        | Some exact -> ignore (Monitor.observe m ~exact ~estimate:unique_results.(u)))
+      exacts);
   Array.map (fun u -> unique_results.(u)) slot_of
 
-let batch ?pool ?scheme ?extra t twigs =
-  batch_keys ?pool ?scheme ?extra t (Array.map (fun tw -> Twig.key (Twig.canonicalize tw)) twigs)
+let batch ?pool ?scheme ?extra ?audit ?monitor t twigs =
+  batch_keys ?pool ?scheme ?extra ?audit ?monitor t
+    (Array.map (fun tw -> Twig.key (Twig.canonicalize tw)) twigs)
 
-let batch_values ?pool ?scheme t values queries =
+let batch_values ?pool ?scheme ?audit ?monitor t values queries =
   let queries = Array.map Tl_values.Value_query.canonicalize queries in
   let keys =
     Array.map
       (fun q -> Twig.key (Twig.canonicalize (Tl_values.Value_query.strip q)))
       queries
   in
-  let structural = batch_keys ?pool ?scheme t keys in
+  let structural = batch_keys ?pool ?scheme ?audit ?monitor t keys in
   Array.mapi
     (fun i q ->
       (* Same composition as [Value_estimator.estimate]: structural zeros

@@ -38,16 +38,21 @@ val summary : t -> Tl_lattice.Summary.t
 val estimate :
   ?scheme:Tl_core.Estimator.scheme ->
   ?extra:(Tl_twig.Twig.Key.t -> float option) ->
+  ?audit:Audit.t ->
   t ->
   Tl_twig.Twig.t ->
   float
 (** One query through the plan cache: the per-call path for callers that
     do not batch but still repeat queries ({!Tl_harness.Experiments} runs
-    every figure through this). *)
+    every figure through this).  With [?audit], the query additionally
+    leaves an {!Audit} record (key id, scheme, estimate, latency,
+    plan-cache hit, feedback hit, clamp flag); without it the evaluation
+    path is exactly the uninstrumented one. *)
 
 val estimate_key :
   ?scheme:Tl_core.Estimator.scheme ->
   ?extra:(Tl_twig.Twig.Key.t -> float option) ->
+  ?audit:Audit.t ->
   t ->
   Tl_twig.Twig.Key.t ->
   float
@@ -57,18 +62,31 @@ val batch :
   ?pool:Tl_util.Pool.t ->
   ?scheme:Tl_core.Estimator.scheme ->
   ?extra:(Tl_twig.Twig.Key.t -> float option) ->
+  ?audit:Audit.t ->
+  ?monitor:Monitor.t ->
   t ->
   Tl_twig.Twig.t array ->
   float array
 (** Estimates in input order.  Distinct queries (after canonicalization)
     are evaluated once each; with a [pool], distinct queries spread across
     its domains, chunked by a per-query size hint so one deep twig does
-    not serialize the tail of a skewed batch. *)
+    not serialize the tail of a skewed batch.
+
+    With [?audit], every distinct evaluation leaves an audit record (from
+    whichever domain ran it — recording is lock-free).  With [?monitor],
+    the drift monitor draws its sampling decisions and replays the exact
+    oracle on the {e caller} domain before the parallel phase, and folds
+    the observations in afterwards, also on the caller — so a non-domain-
+    safe oracle ({!Monitor.oracle_of_tree}, {!Monitor.oracle_of_adaptive})
+    is safe here, and the monitor's window is deterministic for a fixed
+    seed and query sequence regardless of the pool. *)
 
 val batch_keys :
   ?pool:Tl_util.Pool.t ->
   ?scheme:Tl_core.Estimator.scheme ->
   ?extra:(Tl_twig.Twig.Key.t -> float option) ->
+  ?audit:Audit.t ->
+  ?monitor:Monitor.t ->
   t ->
   Tl_twig.Twig.Key.t array ->
   float array
@@ -76,6 +94,8 @@ val batch_keys :
 val batch_values :
   ?pool:Tl_util.Pool.t ->
   ?scheme:Tl_core.Estimator.scheme ->
+  ?audit:Audit.t ->
+  ?monitor:Monitor.t ->
   t ->
   Tl_values.Value_summary.t ->
   Tl_values.Value_query.t array ->

@@ -44,7 +44,7 @@ than the lattice, and writes metrics/trace/DOT side files on request:
   $ grep -c "digraph" explain.dot
   1
   $ grep -c "tl_estimator_lookups" explain.prom
-  2
+  3
   $ grep -c '"name":"summary.build"' explain.jsonl
   1
 
@@ -109,6 +109,30 @@ Queries on stdin diagnose as <stdin>:
 
   $ printf 'oops(\n' | treelattice batch --xml auction.xml -k 3 2>&1 >/dev/null | grep '^<stdin>'
   <stdin>:1: bad query "oops(": syntax error at offset 5: expected a tag name
+
+The serving loop answers query batches from a file (blank line = batch
+boundary), keeps an audit trail, replays sampled queries through the
+exact oracle, and dumps the audit log as JSONL on shutdown.  Both query
+forms hit the same canonical key, so the drift monitor at rate 1.0
+samples one distinct key per batch and measures zero error on a
+lattice-resident query:
+
+  $ printf 'open_auction(bidder)\n//open_auction[bidder]\n\n# comment\nopen_auction(bidder)\n' > serve_q.txt
+  $ treelattice serve --xml auction.xml -k 3 --queries serve_q.txt \
+  >   --port-file port.txt --audit-out audit.jsonl --sample-rate 1.0 2>serve_err.txt | tr '\t' ' '
+  open_auction(bidder) 120.00
+  //open_auction[bidder] 120.00
+  open_auction(bidder) 120.00
+  $ grep -cE '^[0-9]+$' port.txt
+  1
+  $ wc -l < audit.jsonl
+  2
+  $ grep -c '"scheme":"recursive+voting"' audit.jsonl
+  2
+  $ grep -E 'serve: [0-9]+ queries' serve_err.txt
+  serve: 3 queries in 2 batch(es), 2 audit record(s) retained
+  $ grep '^serve: drift' serve_err.txt
+  serve: drift: 2 sampled, window 2, rel error p50 0.0000 p90 0.0000 p99 0.0000, alarm ok (0 raised)
 
 Unknown experiment ids fail loudly:
 

@@ -88,6 +88,84 @@ let test_counters_and_rendering () =
   let empty = Metrics.snapshot () in
   Alcotest.(check int) "reset clears counters" 0 (List.length empty.Metrics.counters)
 
+(* --- histogram quantiles -------------------------------------------------- *)
+
+let test_quantile () =
+  Metrics.reset ();
+  let empty =
+    { Metrics.h_observations = 0; h_sum = 0; h_min = 0; h_max = 0; h_buckets = [] }
+  in
+  Alcotest.(check bool) "empty histogram has nan quantiles" true
+    (Float.is_nan (Metrics.quantile empty 0.5));
+  (* All mass in bucket 0 (values <= 1): every quantile collapses there. *)
+  List.iter (Metrics.observe "q.ones") [ 1; 1; 1; 1 ];
+  let h = List.assoc "q.ones" (Metrics.snapshot ()).Metrics.histograms in
+  Alcotest.(check (float 1e-9)) "all-ones p50" 1.0 (Metrics.quantile h 0.5);
+  Alcotest.(check (float 1e-9)) "all-ones p99" 1.0 (Metrics.quantile h 0.99);
+  Metrics.reset ();
+  (* 100 observations of 10 and one of 1000: low quantiles sit in the
+     [8,15] bucket (clamped to the true min), the p99+ tail reaches the
+     high bucket (clamped to the true max). *)
+  for _ = 1 to 100 do
+    Metrics.observe "q.skew" 10
+  done;
+  Metrics.observe "q.skew" 1000;
+  let h = List.assoc "q.skew" (Metrics.snapshot ()).Metrics.histograms in
+  let p50 = Metrics.quantile h 0.5 in
+  Alcotest.(check bool) "p50 within its bucket" true (p50 >= 10.0 && p50 <= 15.0);
+  Alcotest.(check (float 1e-9)) "p100 is the max" 1000.0 (Metrics.quantile h 1.0);
+  Alcotest.(check bool) "monotone in q" true
+    (Metrics.quantile h 0.25 <= Metrics.quantile h 0.75
+    && Metrics.quantile h 0.75 <= Metrics.quantile h 1.0);
+  (* Single observation: every quantile is that value exactly. *)
+  Metrics.reset ();
+  Metrics.observe "q.one" 37;
+  let h = List.assoc "q.one" (Metrics.snapshot ()).Metrics.histograms in
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "single obs at q=%.2f" q) 37.0
+        (Metrics.quantile h q))
+    [ 0.0; 0.5; 0.9; 1.0 ]
+
+let test_prometheus_help_and_buckets () =
+  Metrics.reset ();
+  Metrics.describe "helped.count" "A documented counter";
+  Metrics.incr "helped.count";
+  Metrics.observe "gap.hist" 1;
+  Metrics.observe "gap.hist" 100;
+  let prom = Metrics.to_prometheus (Metrics.snapshot ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("prom contains " ^ needle) true
+        (Tl_util.Prelude.string_contains ~needle prom))
+    [
+      "# HELP tl_helped_count A documented counter";
+      (* the full cumulative series: gap buckets between 1 and 100 are
+         materialized, the +Inf bucket equals the count *)
+      "tl_gap_hist_bucket{le=\"1\"} 1";
+      "tl_gap_hist_bucket{le=\"3\"} 1";
+      "tl_gap_hist_bucket{le=\"63\"} 1";
+      "tl_gap_hist_bucket{le=\"127\"} 2";
+      "tl_gap_hist_bucket{le=\"+Inf\"} 2";
+      "tl_gap_hist_sum 101";
+      "tl_gap_hist_count 2";
+    ];
+  (* Cumulative counts never decrease along the series. *)
+  let lines = String.split_on_char '\n' prom in
+  let bucket_counts =
+    List.filter_map
+      (fun l ->
+        if Tl_util.Prelude.string_contains ~needle:"tl_gap_hist_bucket" l then
+          int_of_string_opt (List.nth (String.split_on_char ' ' l) 1)
+        else None)
+      lines
+  in
+  let rec nondecreasing = function
+    | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "bucket series is cumulative" true (nondecreasing bucket_counts)
+
 (* --- the tentpole property: parallel metrics == sequential --------------- *)
 
 (* The same per-element work (counter bumps + histogram observations) run
@@ -188,6 +266,92 @@ let test_span_jsonl_and_flame () =
   Alcotest.(check bool) "flame table indents the child" true
     (Tl_util.Prelude.string_contains ~needle:"  b" flame)
 
+let test_span_sink () =
+  Span.reset ();
+  let path = Filename.temp_file "tl_obs_sink" ".jsonl" in
+  Span.set_sink path;
+  Alcotest.(check bool) "set_sink enables recording" true (Span.enabled ());
+  Span.with_ "sinked" (fun () -> ());
+  (match Span.close_sink () with
+  | None -> Alcotest.fail "close_sink lost the sink"
+  | Some (p, n) ->
+    Alcotest.(check string) "sink path" path p;
+    Alcotest.(check int) "one span flushed" 1 n);
+  let ic = open_in path in
+  let first = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "flushed line carries the span" true
+    (Tl_util.Prelude.string_contains ~needle:{|"path":"sinked"|} first);
+  Alcotest.(check bool) "second close is a no-op" true (Span.close_sink () = None);
+  Span.set_enabled false;
+  Span.reset ()
+
+(* --- exporter: scrape the endpoint over a real socket --------------------- *)
+
+let http_get port path =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+      ignore (Unix.write_substring sock req 0 (String.length req));
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 1024 in
+      let rec drain () =
+        let n = Unix.read sock chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        end
+      in
+      drain ();
+      Buffer.contents buf)
+
+let status_of response =
+  match String.split_on_char ' ' response with _ :: code :: _ -> int_of_string code | _ -> -1
+
+let test_exporter_round_trip () =
+  Metrics.reset ();
+  Metrics.incr "scraped.count";
+  Metrics.observe "scraped.hist" 42;
+  let hits = ref 0 in
+  let exporter =
+    Tl_obs.Exporter.start
+      ~routes:
+        [
+          ("/custom", fun () -> incr hits; Tl_obs.Exporter.text "custom body\n");
+          ("/failing", fun () -> failwith "route exploded");
+        ]
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Tl_obs.Exporter.stop exporter) @@ fun () ->
+  let port = Tl_obs.Exporter.port exporter in
+  Alcotest.(check bool) "bound an ephemeral port" true (port > 0);
+  let metrics = http_get port "/metrics" in
+  Alcotest.(check int) "/metrics is 200" 200 (status_of metrics);
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("/metrics body contains " ^ needle) true
+        (Tl_util.Prelude.string_contains ~needle metrics))
+    [
+      "# HELP tl_scraped_count"; "tl_scraped_count 1"; "# TYPE tl_scraped_hist histogram";
+      "tl_scraped_hist_bucket{le=\"+Inf\"} 1"; "tl_scraped_hist_sum 42";
+    ];
+  let custom = http_get port "/custom?x=1" in
+  Alcotest.(check int) "/custom is 200 (query string stripped)" 200 (status_of custom);
+  Alcotest.(check bool) "custom body served" true
+    (Tl_util.Prelude.string_contains ~needle:"custom body" custom);
+  Alcotest.(check int) "route callback ran once" 1 !hits;
+  Alcotest.(check int) "unknown path is 404" 404 (status_of (http_get port "/nope"));
+  Alcotest.(check int) "raising route is 500" 500 (status_of (http_get port "/failing"));
+  (* A second scrape after errors still works — the endpoint survives
+     misbehaving routes and clients. *)
+  Alcotest.(check int) "endpoint still alive" 200 (status_of (http_get port "/metrics"));
+  Tl_obs.Exporter.stop exporter;
+  Tl_obs.Exporter.stop exporter (* idempotent *)
+
 (* --- explain traces ------------------------------------------------------- *)
 
 let golden_doc = TB.node "a" [ TB.node "b" [ TB.leaf "c" ]; TB.node "b" [ TB.leaf "c" ] ]
@@ -264,6 +428,9 @@ let () =
           Alcotest.test_case "log-scale bucketing" `Quick test_bucketing;
           Alcotest.test_case "histogram snapshot" `Quick test_histogram_snapshot;
           Alcotest.test_case "counters, gauges, rendering" `Quick test_counters_and_rendering;
+          Alcotest.test_case "histogram quantiles" `Quick test_quantile;
+          Alcotest.test_case "prometheus HELP and cumulative buckets" `Quick
+            test_prometheus_help_and_buckets;
           prop_parallel_snapshot_identical;
           Alcotest.test_case "miner metrics identical under a pool" `Quick
             test_miner_metrics_parallel_identical;
@@ -274,6 +441,12 @@ let () =
           Alcotest.test_case "exception safety and disabled mode" `Quick
             test_span_exception_and_disabled;
           Alcotest.test_case "jsonl sink and flame summary" `Quick test_span_jsonl_and_flame;
+          Alcotest.test_case "file sink flush on close" `Quick test_span_sink;
+        ] );
+      ( "exporter",
+        [
+          Alcotest.test_case "scrape round trip over a real socket" `Quick
+            test_exporter_round_trip;
         ] );
       ( "explain",
         [

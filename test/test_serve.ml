@@ -279,6 +279,210 @@ let test_batch_clamps_nonfinite () =
   ignore (Engine.batch ~extra engine [| twig |]);
   Alcotest.(check int) "finite batch uncounted" before (nonfinite_count ())
 
+(* --- audit log ---------------------------------------------------------- *)
+
+module Audit = Tl_serve.Audit
+module Monitor = Tl_serve.Monitor
+
+let test_audit_ring_and_views () =
+  let a = Audit.create ~capacity:4 () in
+  let record ~key_id ~latency_ns ~clamped ~rel_error =
+    Audit.record a ~key_id ~scheme:"test" ~estimate:1.0 ~latency_ns ~plan_hit:true
+      ~feedback_hit:false ~clamped ~rel_error
+  in
+  record ~key_id:0 ~latency_ns:500 ~clamped:false ~rel_error:Float.nan;
+  record ~key_id:1 ~latency_ns:900 ~clamped:false ~rel_error:0.25;
+  record ~key_id:2 ~latency_ns:100 ~clamped:true ~rel_error:Float.nan;
+  record ~key_id:3 ~latency_ns:700 ~clamped:false ~rel_error:2.0;
+  record ~key_id:4 ~latency_ns:300 ~clamped:false ~rel_error:Float.nan;
+  (* capacity 4: key 0 aged out of the ring, but total keeps counting *)
+  Alcotest.(check int) "total counts all admissions" 5 (Audit.total a);
+  Alcotest.(check int) "ring holds capacity" 4 (Audit.size a);
+  Alcotest.(check (list int)) "records oldest first" [ 1; 2; 3; 4 ]
+    (List.map (fun r -> r.Audit.key_id) (Audit.records a));
+  Alcotest.(check (list int)) "recent newest first" [ 4; 3 ]
+    (List.map (fun r -> r.Audit.key_id) (Audit.recent ~limit:2 a));
+  Alcotest.(check (list int)) "top_slow by latency desc" [ 1; 3 ]
+    (List.map (fun r -> r.Audit.key_id) (Audit.top_slow ~k:2 a));
+  (* worst confidence: the clamp outranks any finite error; unsampled
+     unclamped records never appear *)
+  Alcotest.(check (list int)) "top_uncertain clamp first, then error desc" [ 2; 3; 1 ]
+    (List.map (fun r -> r.Audit.key_id) (Audit.top_uncertain ~k:5 a));
+  let h = Audit.latency_histogram a in
+  Alcotest.(check int) "latency histogram holds the ring" 4 h.Tl_obs.Metrics.h_observations;
+  Alcotest.(check int) "latency sum" 2000 h.Tl_obs.Metrics.h_sum;
+  let json = Audit.record_json (List.hd (Audit.records a)) in
+  Alcotest.(check bool) "unsampled rel_error is JSON null" true
+    (Tl_util.Prelude.string_contains ~needle:{|"rel_error":0.25|} json);
+  let clamped_json = Audit.record_json (List.nth (Audit.records a) 1) in
+  Alcotest.(check bool) "clamped flag serialized" true
+    (Tl_util.Prelude.string_contains ~needle:{|"clamped":true|} clamped_json);
+  Alcotest.(check bool) "nan rel_error serialized as null" true
+    (Tl_util.Prelude.string_contains ~needle:{|"rel_error":null|} clamped_json);
+  Audit.reset a;
+  Alcotest.(check int) "reset drops held records" 0 (Audit.size a);
+  Alcotest.(check int) "reset keeps total" 5 (Audit.total a)
+
+(* The deterministic-merge property: a parallel audited batch leaves the
+   same multiset of records as the sequential one, once the fields that
+   legitimately vary (admission order, wall-clock latency) are projected
+   out.  The engine is warmed first so every record's plan_hit is
+   [true] in both runs. *)
+let audit_projection a =
+  List.sort compare
+    (List.map
+       (fun r ->
+         ( r.Audit.key_id,
+           r.Audit.scheme,
+           Int64.bits_of_float r.Audit.estimate,
+           r.Audit.plan_hit,
+           r.Audit.feedback_hit,
+           r.Audit.clamped ))
+       (Audit.records a))
+
+let prop_parallel_audit_matches_sequential =
+  Helpers.qcheck_case ~name:"audit: parallel batch records = sequential multiset" ~count:10
+    QCheck2.Gen.(
+      pair (Helpers.tree_gen ~max_nodes:20)
+        (array_size (return 48) (Helpers.twig_gen ~nlabels:6 ~max_nodes:7 ())))
+    (fun (tree, batch) ->
+      let summary = Summary.build ~k:2 tree in
+      let engine = Engine.create summary in
+      ignore (Engine.batch ~extra engine batch);
+      let seq_audit = Audit.create () in
+      let seq = Engine.batch ~extra ~audit:seq_audit engine batch in
+      let par_audit = Audit.create () in
+      let par =
+        Pool.with_pool ~domains:4 (fun pool ->
+            Engine.batch ~pool ~extra ~audit:par_audit engine batch)
+      in
+      Array.for_all2 same_float seq par
+      && audit_projection seq_audit = audit_projection par_audit)
+
+let test_audit_captures_clamp_and_feedback () =
+  let tree = Helpers.tree_of Helpers.fig11_spec in
+  let summary = Summary.build ~k:3 tree in
+  let engine = Engine.create summary in
+  let twig = Helpers.twig_of_string tree "a(b(c,d),b)" in
+  let root_id = Twig.Key.id (Twig.key (Twig.canonicalize twig)) in
+  let audit = Audit.create () in
+  let poison key = if Twig.Key.id key = root_id then Some Float.nan else None in
+  ignore (Engine.batch ~extra:poison ~audit engine [| twig |]);
+  (match Audit.records audit with
+  | [ r ] ->
+    Alcotest.(check bool) "clamp flagged" true r.Audit.clamped;
+    Alcotest.(check bool) "feedback hit flagged" true r.Audit.feedback_hit;
+    check_bits "clamped estimate recorded as served" 0.0 r.Audit.estimate;
+    Alcotest.(check int) "key id recorded" root_id r.Audit.key_id
+  | rs -> Alcotest.failf "expected 1 record, got %d" (List.length rs));
+  (* Without feedback the same query is finite and unflagged. *)
+  ignore (Engine.batch ~audit engine [| twig |]);
+  match Audit.recent ~limit:1 audit with
+  | [ r ] ->
+    Alcotest.(check bool) "no clamp" false r.Audit.clamped;
+    Alcotest.(check bool) "no feedback" false r.Audit.feedback_hit;
+    Alcotest.(check bool) "plan cache hit recorded" true r.Audit.plan_hit
+  | rs -> Alcotest.failf "expected 1 recent record, got %d" (List.length rs)
+
+(* --- drift monitor ------------------------------------------------------- *)
+
+let test_monitor_window_quantiles_and_alarm () =
+  let oracle _ = 100.0 in
+  let m = Monitor.create ~sample_rate:1.0 ~window:8 ~threshold:0.5 ~min_samples:4 ~oracle () in
+  Alcotest.(check bool) "no alarm before min_samples" false (Monitor.alarm m);
+  (* Three accurate observations: rel error 0.1 each. *)
+  for _ = 1 to 3 do
+    ignore (Monitor.observe m ~exact:100.0 ~estimate:110.0)
+  done;
+  Alcotest.(check bool) "still below min_samples" false (Monitor.alarm m);
+  (* A fourth accurate one: window full enough, p90 = 0.1 < 0.5. *)
+  ignore (Monitor.observe m ~exact:100.0 ~estimate:110.0);
+  Alcotest.(check bool) "accurate window does not alarm" false (Monitor.alarm m);
+  Alcotest.(check (float 1e-9)) "p50 of identical errors" 0.1 (Monitor.quantile m 0.5);
+  (* Flood with terrible estimates: p90 crosses, alarm latches. *)
+  for _ = 1 to 8 do
+    ignore (Monitor.observe m ~exact:100.0 ~estimate:400.0)
+  done;
+  Alcotest.(check bool) "drifted window alarms" true (Monitor.alarm m);
+  let s = Monitor.stats m in
+  Alcotest.(check int) "observations counted" 12 s.Monitor.samples;
+  Alcotest.(check int) "window is sliding" 8 s.Monitor.window_n;
+  Alcotest.(check (float 1e-9)) "window now all-bad: p90 = 3" 3.0 s.Monitor.p90;
+  Alcotest.(check int) "one raise transition" 1 s.Monitor.alarm_transitions;
+  (* Recovery: accurate estimates push the bad errors out of the window. *)
+  for _ = 1 to 8 do
+    ignore (Monitor.observe m ~exact:100.0 ~estimate:100.0)
+  done;
+  Alcotest.(check bool) "alarm clears on recovery" false (Monitor.alarm m);
+  Alcotest.(check (float 1e-9)) "perfect estimates: p99 = 0" 0.0 (Monitor.quantile m 0.99)
+
+(* The golden determinism contract: same seed, same query sequence, same
+   sampling trace — regardless of whether evaluation ran on a pool. *)
+let test_monitor_sampling_deterministic () =
+  let tree = Helpers.tree_of Helpers.fig11_spec in
+  let summary = Summary.build ~k:3 tree in
+  let distinct = Array.of_list (List.map (Helpers.twig_of_string tree) fig11_queries) in
+  let batch = Array.init 40 (fun i -> distinct.(i mod Array.length distinct)) in
+  let run ~pool () =
+    let engine = Engine.create summary in
+    ignore (Engine.batch engine batch);
+    let oracle = Monitor.oracle_of_tree tree in
+    let m = Monitor.create ~sample_rate:0.5 ~seed:42 ~oracle () in
+    (match pool with
+    | None -> ignore (Engine.batch ~monitor:m engine batch)
+    | Some pool -> ignore (Engine.batch ~pool ~monitor:m engine batch));
+    Monitor.stats m
+  in
+  let a = run ~pool:None () in
+  let b = run ~pool:None () in
+  let c = Pool.with_pool ~domains:4 (fun pool -> run ~pool:(Some pool) ()) in
+  Alcotest.(check bool) "two sequential runs identical" true (a = b);
+  Alcotest.(check bool) "parallel run identical to sequential" true (a = c);
+  Alcotest.(check bool) "something was sampled at rate 0.5" true (a.Monitor.samples > 0);
+  Alcotest.(check bool) "not everything was sampled at rate 0.5" true
+    (a.Monitor.samples < Array.length distinct)
+
+(* End-to-end golden: rate 1.0 over the fig11 batch samples every distinct
+   query exactly once per batch, and the window errors equal the
+   independently computed |estimate - exact| / max 1 exact. *)
+let test_monitor_engine_golden () =
+  let tree = Helpers.tree_of Helpers.fig11_spec in
+  let summary = Summary.build ~k:3 tree in
+  let distinct = Array.of_list (List.map (Helpers.twig_of_string tree) fig11_queries) in
+  let engine = Engine.create summary in
+  ignore (Engine.batch engine distinct);
+  let ctx = Tl_twig.Match_count.create_ctx tree in
+  let m = Monitor.create ~sample_rate:1.0 ~oracle:(Monitor.oracle_of_tree tree) () in
+  let estimates = Engine.batch ~monitor:m engine distinct in
+  let s = Monitor.stats m in
+  Alcotest.(check int) "every distinct query sampled" (Array.length distinct) s.Monitor.samples;
+  let expected_errors =
+    Array.to_list
+      (Array.mapi
+         (fun i twig ->
+           let exact = float_of_int (Tl_twig.Match_count.selectivity ctx twig) in
+           Float.abs (estimates.(i) -. exact) /. Float.max 1.0 exact)
+         distinct)
+  in
+  let expected_sorted = List.sort compare expected_errors in
+  let golden_p50 = List.nth expected_sorted (List.length expected_sorted / 2) in
+  Alcotest.(check (float 1e-9)) "window p50 matches recomputation" golden_p50
+    (Monitor.quantile m 0.5);
+  (* The adaptive-backed oracle also records feedback: after monitoring
+     through it, the engine's answers for sampled queries become exact. *)
+  let tl = Tl_core.Treelattice.of_summary tree summary in
+  let adaptive = Tl_core.Adaptive.create ~capacity:64 tl in
+  let m2 = Monitor.create ~sample_rate:1.0 ~oracle:(Monitor.oracle_of_adaptive adaptive) () in
+  ignore (Engine.batch ~monitor:m2 engine distinct);
+  let with_feedback = Engine.batch ~extra:(Tl_core.Adaptive.lookup adaptive) engine distinct in
+  Array.iteri
+    (fun i twig ->
+      check_bits
+        (Printf.sprintf "feedback loop closes query %d" i)
+        (float_of_int (Tl_twig.Match_count.selectivity ctx twig))
+        with_feedback.(i))
+    distinct
+
 let test_engine_estimate_single () =
   let tree = Helpers.tree_of Helpers.fig11_spec in
   let tl = Tl_core.Treelattice.build ~k:3 tree in
@@ -311,5 +515,19 @@ let () =
           Alcotest.test_case "value batches" `Quick test_batch_values_matches_value_estimator;
           Alcotest.test_case "non-finite clamped" `Quick test_batch_clamps_nonfinite;
           Alcotest.test_case "single estimate" `Quick test_engine_estimate_single;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "ring capacity and views" `Quick test_audit_ring_and_views;
+          prop_parallel_audit_matches_sequential;
+          Alcotest.test_case "clamp and feedback flags" `Quick test_audit_captures_clamp_and_feedback;
+        ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "window quantiles and alarm" `Quick
+            test_monitor_window_quantiles_and_alarm;
+          Alcotest.test_case "sampling deterministic across pools" `Quick
+            test_monitor_sampling_deterministic;
+          Alcotest.test_case "engine golden errors" `Quick test_monitor_engine_golden;
         ] );
     ]
