@@ -490,6 +490,89 @@ let run_observability suite =
       end)
     (Experiments.envs suite)
 
+(* --- registry: reload under load ----------------------------------------- *)
+
+module Registry = Tl_serve.Registry
+
+let registry_iters = 24
+
+(* Serving throughput with and without a summary hot-swap before every
+   batch.  Each swap rebuilds the whole bundle — label validation plus a
+   fresh engine whose empty plan cache the next batch refills — so the
+   reloading row prices both the swap and the recompilation it induces.
+   Swapping before literally every batch is a worst case no deployment
+   approaches; the steady/reloading ratio is an upper bound on what hot
+   reload can cost. *)
+let run_registry suite =
+  print_string
+    (Tl_harness.Report.section "registry"
+       "dataset registry: serving throughput while summaries hot-swap");
+  List.iter
+    (fun env ->
+      let name = env.Experiments.dataset.Dataset.name in
+      let summary = env.Experiments.summary in
+      let distinct =
+        Array.concat
+          (List.map
+             (fun (wl : Workload.t) ->
+               Array.map (fun (q : Workload.query) -> q.Workload.twig) wl.Workload.queries)
+             env.Experiments.workloads)
+      in
+      if Array.length distinct > 0 then begin
+        let nd = Array.length distinct in
+        let rng = Xorshift.create 97 in
+        let batch =
+          Array.init 1024 (fun _ -> distinct.(Xorshift.zipf rng ~n:nd ~s:1.1 - 1))
+        in
+        let n = Array.length batch in
+        let t = Registry.create () in
+        let names = Data_tree.label_names env.Experiments.tree in
+        ignore (Result.get_ok (Registry.install_summary t ~name ~names summary));
+        let serve () =
+          match Registry.find t name with
+          | Some b -> ignore (Registry.batch b batch)
+          | None -> ()
+        in
+        serve ();
+        Gc.full_major ();
+        let (), steady_ms =
+          Timer.time_ms (fun () ->
+              for _ = 1 to registry_iters do
+                serve ()
+              done)
+        in
+        let (), reloading_ms =
+          Timer.time_ms (fun () ->
+              for _ = 1 to registry_iters do
+                ignore (Result.get_ok (Registry.swap t name summary));
+                serve ()
+              done)
+        in
+        let (), swaps_ms =
+          Timer.time_ms (fun () ->
+              for _ = 1 to registry_iters do
+                ignore (Result.get_ok (Registry.swap t name summary))
+              done)
+        in
+        let served = registry_iters * n in
+        let steady = qps served steady_ms in
+        let reloading = qps served reloading_ms in
+        let swap_ms = swaps_ms /. float_of_int registry_iters in
+        let ratio = steady /. Float.max 1e-9 reloading in
+        Printf.printf
+          "  %-8s steady %9.0f qps   reloading %9.0f qps   swap %7.3f ms   steady/reloading %5.2fx\n%!"
+          name steady reloading swap_ms ratio;
+        record ~experiment:"registry" ~dataset:name ~metric:"qps_steady" ~value:steady
+          ~unit:"qps" ~ms:steady_ms;
+        record ~experiment:"registry" ~dataset:name ~metric:"qps_reloading" ~value:reloading
+          ~unit:"qps" ~ms:reloading_ms;
+        record ~experiment:"registry" ~dataset:name ~metric:"swap_ms" ~value:swap_ms ~unit:"ms"
+          ~ms:swaps_ms;
+        record ~experiment:"registry" ~dataset:name ~metric:"reload_overhead" ~value:ratio
+          ~unit:"ratio" ~ms:0.0
+      end)
+    (Experiments.envs suite)
+
 (* --- phase 2: micro-benchmarks ------------------------------------------ *)
 
 (* A small fixed environment so micro-benchmarks are quick and stable. *)
@@ -690,6 +773,7 @@ let () =
     run_parallel_build ~jobs ~k:config.Experiments.k pool suite;
     run_throughput ~jobs pool suite;
     run_observability suite;
+    run_registry suite;
     suite
   in
   run_estimation_latency suite;

@@ -569,7 +569,25 @@ let serve_cmd =
           ~doc:
             "Read queries from $(docv) — commonly a FIFO — instead of stdin.  One query per \
              line, twig or XPath syntax; a blank line flushes the pending batch; '#' lines are \
-             skipped.")
+             skipped."
+    )
+  in
+  let xml_opt_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "xml" ] ~docv:"FILE"
+          ~doc:"Serving document, installed as the dataset named 'default'.")
+  in
+  let dataset_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "dataset" ] ~docv:"NAME=PATH"
+          ~doc:
+            "Install $(docv) as a named dataset (repeatable).  A PATH ending in .xml is parsed \
+             and mined; any other PATH is read as a serialized summary file.  Route a query to \
+             a dataset with a 'NAME:' line prefix; bare queries go to the default dataset (the \
+             first one installed, or --xml's 'default').")
   in
   let port_arg =
     Arg.(
@@ -606,8 +624,8 @@ let serve_cmd =
       & opt (some file) None
       & info [ "drift-xml" ] ~docv:"FILE"
           ~doc:
-            "Replay sampled queries against $(docv) instead of the serving document — the \
-             summary-went-stale scenario the drift monitor exists to catch.")
+            "Replay sampled queries against $(docv) instead of each dataset's own document — \
+             the summary-went-stale scenario the drift monitor exists to catch.")
   in
   let audit_out_arg =
     Arg.(
@@ -624,65 +642,116 @@ let serve_cmd =
             "Keep the HTTP endpoint up for $(docv) seconds after the query input drains, so a \
              scraper can collect the final state.")
   in
-  let run obs xml k scheme jobs queries_file port port_file sample_rate drift_threshold drift_xml
-      audit_out linger =
+  let run obs xml k scheme jobs datasets queries_file port port_file sample_rate drift_threshold
+      drift_xml audit_out linger =
     with_obs obs @@ fun () ->
     Tl_util.Pool.with_pool ~domains:(max 1 jobs) @@ fun pool ->
-    let tree = load_tree xml in
-    let tl =
-      let summary, ms = Tl_util.Timer.time_ms (fun () -> Summary.build ~pool ~k tree) in
-      Printf.eprintf "summary: built in %.0f ms\n%!" ms;
-      Treelattice.of_summary tree summary
+    let module Registry = Tl_serve.Registry in
+    let module Audit = Tl_serve.Audit in
+    let module Monitor = Tl_serve.Monitor in
+    let dataset_specs =
+      List.map
+        (fun spec ->
+          match String.index_opt spec '=' with
+          | Some i when i > 0 ->
+            (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
+          | _ ->
+            Printf.eprintf "serve: bad --dataset %S (expected NAME=PATH)\n%!" spec;
+            exit 2)
+        datasets
     in
-    let engine = Tl_serve.Engine.of_treelattice ~scheme tl in
-    let audit = Tl_serve.Audit.create () in
-    let monitor =
-      if sample_rate <= 0.0 then None
-      else begin
-        let oracle =
-          match drift_xml with
-          | None -> Tl_serve.Monitor.oracle_of_tree tree
-          | Some path ->
-            (* Twig labels are interned per document, so queries against
-               the serving tree must be relabeled before counting in the
-               drift document; a tag the drift document lacks interns
-               fresh there and counts zero, which is the right answer. *)
-            let drift_tree = load_tree path in
-            let count = Tl_serve.Monitor.oracle_of_tree drift_tree in
-            fun key ->
-              let remap l = Data_tree.intern_label drift_tree (Data_tree.label_name tree l) in
-              let twig =
-                Tl_twig.Twig.canonicalize
-                  (Tl_twig.Twig.map_labels remap (Tl_twig.Twig.Key.twig key))
-              in
-              count (Tl_twig.Twig.key twig)
+    if xml = None && dataset_specs = [] then begin
+      Printf.eprintf "serve: nothing to serve (pass --xml FILE and/or --dataset NAME=PATH)\n%!";
+      exit 2
+    end;
+    let registry =
+      Registry.create
+        ~config:
+          {
+            Registry.default_config with
+            Registry.scheme;
+            k;
+            sample_rate;
+            drift_threshold;
+            drift_tree = Option.map load_tree drift_xml;
+          }
+        ()
+    in
+    (* Startup installs fail fast — graceful degradation needs a previous
+       epoch to fall back to, and at startup there is none. *)
+    let installed name result ms =
+      match result with
+      | Ok b ->
+        Printf.eprintf "serve: dataset %s ready at epoch %d (%d entries) in %.0f ms\n%!" name
+          (Registry.epoch b)
+          (Summary.entries (Registry.summary b))
+          ms
+      | Error msg ->
+        Printf.eprintf "serve: dataset %s failed to load: %s\n%!" name msg;
+        exit 1
+    in
+    Option.iter
+      (fun path ->
+        let result, ms =
+          Tl_util.Timer.time_ms (fun () ->
+              Registry.install_document ~pool registry ~name:"default" ~source:path
+                (load_tree path))
         in
-        Some (Tl_serve.Monitor.create ~sample_rate ~threshold:drift_threshold ~oracle ())
-      end
+        installed "default" result ms)
+      xml;
+    List.iter
+      (fun (name, path) ->
+        let result, ms = Tl_util.Timer.time_ms (fun () -> Registry.load registry name path) in
+        installed name result ms)
+      dataset_specs;
+    let default_name =
+      match xml with Some _ -> "default" | None -> fst (List.hd dataset_specs)
     in
     let audit_route () =
+      (* Recent records across every dataset, each line tagged with the
+         dataset it was served from. *)
       let buf = Buffer.create 4096 in
       List.iter
-        (fun r ->
-          Buffer.add_string buf (Tl_serve.Audit.record_json r);
-          Buffer.add_char buf '\n')
-        (List.rev (Tl_serve.Audit.recent ~limit:256 audit));
+        (fun b ->
+          let tag = Printf.sprintf "{\"dataset\":\"%s\"," (Registry.name b) in
+          List.iter
+            (fun r ->
+              let json = Audit.record_json r in
+              Buffer.add_string buf (tag ^ String.sub json 1 (String.length json - 1));
+              Buffer.add_char buf '\n')
+            (List.rev (Audit.recent ~limit:256 (Registry.audit b))))
+        (Registry.list registry);
       Tl_obs.Exporter.text (Buffer.contents buf)
     in
     let healthz_route () =
-      match monitor with
-      | None -> Tl_obs.Exporter.text "ok\ndrift monitor off (enable with --sample-rate)\n"
-      | Some m ->
-        let s = Tl_serve.Monitor.stats m in
-        Tl_obs.Exporter.text
-          ~status:(if s.Tl_serve.Monitor.alarm then 503 else 200)
-          (Printf.sprintf "%s\n%s\n"
-             (if s.Tl_serve.Monitor.alarm then "drift" else "ok")
-             (Tl_serve.Monitor.pp_stats s))
+      let monitors =
+        List.filter_map
+          (fun b -> Option.map (fun m -> (Registry.name b, Monitor.stats m)) (Registry.monitor b))
+          (Registry.list registry)
+      in
+      match monitors with
+      | [] -> Tl_obs.Exporter.text "ok\ndrift monitor off (enable with --sample-rate)\n"
+      | _ ->
+        (* Drift on ANY dataset flips health: a scraper watching one
+           endpoint must not miss a stale dataset among healthy ones.
+           The reload-failure alarm does NOT — the old epoch still
+           serves accurate answers. *)
+        let any_alarm = List.exists (fun (_, s) -> s.Monitor.alarm) monitors in
+        let buf = Buffer.create 256 in
+        Buffer.add_string buf (if any_alarm then "drift\n" else "ok\n");
+        List.iter
+          (fun (name, s) ->
+            Buffer.add_string buf (Printf.sprintf "%s: %s\n" name (Monitor.pp_stats s)))
+          monitors;
+        Tl_obs.Exporter.text ~status:(if any_alarm then 503 else 200) (Buffer.contents buf)
     in
+    let datasets_route () = Tl_obs.Exporter.text (Registry.datasets_json registry) in
     let exporter =
       Tl_obs.Exporter.start ~port
-        ~routes:[ ("/audit", audit_route); ("/healthz", healthz_route) ]
+        ~routes:
+          [
+            ("/audit", audit_route); ("/healthz", healthz_route); ("/datasets", datasets_route);
+          ]
         ()
     in
     let shutdown () =
@@ -690,10 +759,40 @@ let serve_cmd =
       Option.iter
         (fun path ->
           let oc = open_out path in
-          let n = Tl_serve.Audit.dump_jsonl audit oc in
+          let n =
+            List.fold_left
+              (fun acc b -> acc + Audit.dump_jsonl (Registry.audit b) oc)
+              0 (Registry.list registry)
+          in
           close_out oc;
           Printf.eprintf "serve: wrote %d audit record(s) to %s\n%!" n path)
         audit_out
+    in
+    (* SIGHUP requests a reload of every dataset; the flag is checked at
+       loop iterations and batch boundaries (best-effort while blocked on
+       input — the explicit `reload` control line is the deterministic
+       path). *)
+    let sighup = Atomic.make false in
+    (try ignore (Sys.signal Sys.sighup (Sys.Signal_handle (fun _ -> Atomic.set sighup true)))
+     with Invalid_argument _ | Sys_error _ -> ());
+    let report_reload name = function
+      | Ok b ->
+        Printf.eprintf "serve: reloaded %s -> epoch %d (%d entries)\n%!" name (Registry.epoch b)
+          (Summary.entries (Registry.summary b))
+      | Error msg ->
+        Printf.eprintf "serve: reload %s failed: %s (previous epoch keeps serving)\n%!" name msg
+    in
+    let reload_all_now () =
+      match Registry.reload_all registry with
+      | [] -> Printf.eprintf "serve: reload: no dataset has a recorded source\n%!"
+      | results -> List.iter (fun (name, r) -> report_reload name r) results
+    in
+    let handle_control line =
+      match List.filter (fun s -> s <> "") (String.split_on_char ' ' line) with
+      | [ "reload" ] -> reload_all_now ()
+      | [ "reload"; name ] -> report_reload name (Registry.reload registry name)
+      | [ "reload"; name; path ] -> report_reload name (Registry.load registry name path)
+      | _ -> Printf.eprintf "serve: bad control line %S (reload [NAME [PATH]])\n%!" line
     in
     let served = ref 0 and batches = ref 0 and skipped = ref 0 in
     (* [exit] would skip [Fun.protect]'s finalizer (it terminates without
@@ -706,7 +805,8 @@ let serve_cmd =
         Printf.fprintf oc "%d\n" bound;
         close_out oc)
       port_file;
-    Printf.eprintf "serve: listening on http://127.0.0.1:%d (/metrics /audit /healthz)\n%!" bound;
+    Printf.eprintf
+      "serve: listening on http://127.0.0.1:%d (/metrics /audit /healthz /datasets)\n%!" bound;
     let ic, close_ic =
       match queries_file with
       | None -> (stdin, fun () -> ())
@@ -714,37 +814,82 @@ let serve_cmd =
         let ic = open_in path in
         (ic, fun () -> close_in ic)
     in
-    (* The serving loop: accumulate lines, evaluate a batch on each blank
-       line and at end of input, answer on stdout as `query TAB estimate`
-       in input order. *)
+    (* A 'NAME:' prefix routes the line to dataset NAME; anything else —
+       including prefixes that name no dataset — goes to the default. *)
+    let route line =
+      match String.index_opt line ':' with
+      | Some i
+        when i > 0 && Option.is_some (Registry.find registry (String.sub line 0 i)) ->
+        (String.sub line 0 i, String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+      | _ -> (default_name, line)
+    in
+    (* The serving loop: accumulate lines, evaluate on each blank line and
+       at end of input (a final batch with no trailing newline still
+       flushes), answer on stdout as `line TAB estimate` in input order.
+       Each flush groups its lines per routed dataset, serves every group
+       through that dataset's current bundle — a concurrent reload is
+       picked up at the next flush, never mid-batch — and scatters the
+       results back into input order. *)
     let flush_batch pending =
-      let parsed =
-        Array.of_list
-          (List.filter_map
-             (fun line ->
-               match parse_query_line tl tree line with
-               | Ok p -> Some (line, p)
-               | Error msg ->
-                 Printf.eprintf "serve: bad query %S: %s\n%!" line msg;
-                 incr skipped;
-                 None)
-             (List.rev pending))
-      in
-      if Array.length parsed > 0 then begin
-        let estimates =
-          Tl_serve.Engine.batch ~pool ~audit ?monitor engine
-            (Array.map (fun (_, (twig, _)) -> twig) parsed)
-        in
-        Array.iteri
-          (fun i (line, (_, transform)) ->
-            Printf.printf "%s\t%.2f\n" line (transform estimates.(i)))
-          parsed;
-        flush Stdlib.stdout;
-        served := !served + Array.length parsed;
-        incr batches
+      let lines = List.rev pending in
+      let n_before = !served in
+      let groups : (string, (int * string * string) list ref) Hashtbl.t = Hashtbl.create 4 in
+      let group_order = ref [] in
+      List.iteri
+        (fun idx line ->
+          let ds, query = route line in
+          match Hashtbl.find_opt groups ds with
+          | Some cell -> cell := (idx, line, query) :: !cell
+          | None ->
+            Hashtbl.replace groups ds (ref [ (idx, line, query) ]);
+            group_order := ds :: !group_order)
+        lines;
+      let results : (int, string * float) Hashtbl.t = Hashtbl.create 16 in
+      List.iter
+        (fun ds ->
+          match Registry.find registry ds with
+          | None -> ()
+          | Some bundle ->
+            let parsed =
+              Array.of_list
+                (List.filter_map
+                   (fun (idx, line, query) ->
+                     match Registry.parse_query bundle query with
+                     | Ok p -> Some (idx, line, p)
+                     | Error msg ->
+                       Printf.eprintf "serve: bad query %S: %s\n%!" line msg;
+                       incr skipped;
+                       None)
+                   (List.rev !(Hashtbl.find groups ds)))
+            in
+            if Array.length parsed > 0 then begin
+              let estimates =
+                Registry.batch ~pool bundle (Array.map (fun (_, _, (twig, _)) -> twig) parsed)
+              in
+              Array.iteri
+                (fun i (idx, line, (_, transform)) ->
+                  Hashtbl.replace results idx (line, transform estimates.(i)))
+                parsed;
+              served := !served + Array.length parsed
+            end)
+        (List.rev !group_order);
+      List.iteri
+        (fun idx _ ->
+          match Hashtbl.find_opt results idx with
+          | Some (line, e) -> Printf.printf "%s\t%.2f\n" line e
+          | None -> ())
+        lines;
+      flush Stdlib.stdout;
+      if !served > n_before then incr batches
+    in
+    let check_sighup () =
+      if Atomic.exchange sighup false then begin
+        Printf.eprintf "serve: SIGHUP: reloading all datasets\n%!";
+        reload_all_now ()
       end
     in
     let rec loop pending =
+      check_sighup ();
       match input_line ic with
       | exception End_of_file -> flush_batch pending
       | line -> (
@@ -752,6 +897,10 @@ let serve_cmd =
         if line = "" then begin
           flush_batch pending;
           loop []
+        end
+        else if line = "reload" || String.starts_with ~prefix:"reload " line then begin
+          handle_control line;
+          loop pending
         end
         else
           match line.[0] with
@@ -764,12 +913,22 @@ let serve_cmd =
       Printf.eprintf "serve: input drained; endpoint up for another %.1f s\n%!" linger;
       Thread.delay linger
     end;
+    let bundles = Registry.list registry in
     Printf.eprintf "serve: %d queries in %d batch(es), %d audit record(s) retained\n%!" !served
-      !batches (Tl_serve.Audit.size audit);
-    Option.iter
-      (fun m ->
-        Printf.eprintf "serve: %s\n%!" (Tl_serve.Monitor.pp_stats (Tl_serve.Monitor.stats m)))
-      monitor);
+      !batches
+      (List.fold_left (fun acc b -> acc + Audit.size (Registry.audit b)) 0 bundles);
+    let multi = List.length bundles > 1 in
+    List.iter
+      (fun b ->
+        match Registry.monitor b with
+        | None -> ()
+        | Some m ->
+          let s = Monitor.pp_stats (Monitor.stats m) in
+          if multi then Printf.eprintf "serve: %s %s\n%!" (Registry.name b) s
+          else Printf.eprintf "serve: %s\n%!" s)
+      bundles;
+    if Registry.alarm registry then
+      Printf.eprintf "serve: reload alarm raised (a reload failed; old epochs kept serving)\n%!");
     if !skipped > 0 then begin
       Printf.eprintf "serve: %d malformed line(s) skipped\n%!" !skipped;
       exit 1
@@ -780,14 +939,20 @@ let serve_cmd =
        ~doc:
          "Run the estimation engine as a long-lived process: read query batches from stdin or a \
           FIFO, answer on stdout, and expose live observability over HTTP — $(b,/metrics) \
-          (Prometheus text), $(b,/audit) (recent per-query audit records as JSON Lines), and \
-          $(b,/healthz) (503 while the accuracy-drift alarm is raised).  The drift monitor \
-          samples $(b,--sample-rate) of distinct queries and replays them against an exact \
-          oracle over the serving document (or $(b,--drift-xml) to detect a stale summary).")
+          (Prometheus text), $(b,/audit) (recent per-query audit records as JSON Lines), \
+          $(b,/healthz) (503 while any dataset's accuracy-drift alarm is raised), and \
+          $(b,/datasets) (name, epoch, entries, alarm per dataset).  Multiple datasets are \
+          served from an epoch-versioned registry: $(b,--dataset NAME=PATH) installs each one, \
+          'NAME:query' lines route to it, and a 'reload NAME [PATH]' control line (or SIGHUP \
+          for all datasets) hot-swaps its summary atomically — in-flight batches finish on the \
+          epoch they started with, and a failed reload leaves the previous epoch serving.  The \
+          drift monitor samples $(b,--sample-rate) of distinct queries and replays them against \
+          an exact oracle over each dataset's document (or $(b,--drift-xml) to detect a stale \
+          summary).")
     Term.(
-      const run $ obs_term $ xml_arg $ k_arg $ scheme_arg $ jobs_arg $ queries_arg $ port_arg
-      $ port_file_arg $ sample_rate_arg $ drift_threshold_arg $ drift_xml_arg $ audit_out_arg
-      $ linger_arg)
+      const run $ obs_term $ xml_opt_arg $ k_arg $ scheme_arg $ jobs_arg $ dataset_arg
+      $ queries_arg $ port_arg $ port_file_arg $ sample_rate_arg $ drift_threshold_arg
+      $ drift_xml_arg $ audit_out_arg $ linger_arg)
 
 (* --- prune ------------------------------------------------------------------- *)
 

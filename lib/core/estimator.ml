@@ -430,12 +430,15 @@ module Plan = struct
   type t = {
     pscheme : scheme;
     root : Twig.Key.t;
+    sstamp : int;  (* Summary.stamp of the summary compiled against *)
     slots : slot array;
     prog : program;
     const_result : float;  (* eval with no extra source: fully determined *)
   }
 
   let scheme t = t.pscheme
+
+  let summary_stamp t = t.sstamp
 
   let root_key t = t.root
 
@@ -687,7 +690,9 @@ module Plan = struct
         end
     in
     let slots = Array.of_list (List.rev !rev_slots) in
-    let plan = { pscheme = sch; root = root_key; slots; prog; const_result = 0.0 } in
+    let plan =
+      { pscheme = sch; root = root_key; sstamp = Summary.stamp summary; slots; prog; const_result = 0.0 }
+    in
     { plan with const_result = eval_with plan ~extra:no_extra ~probe:None }
 
   let eval ?extra ?probe plan =

@@ -179,6 +179,11 @@ module Plan : sig
   val root_key : t -> Tl_twig.Twig.Key.t
   (** The canonical interned key of the compiled query. *)
 
+  val summary_stamp : t -> int
+  (** {!Tl_lattice.Summary.stamp} of the summary this plan was compiled
+      against.  Serving layers use it to assert a plan is never evaluated
+      under a summary it was not built for. *)
+
   val slot_count : t -> int
   (** Number of distinct sub-twig slots in the program (a size proxy). *)
 end

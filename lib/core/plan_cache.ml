@@ -26,6 +26,7 @@ type shard = { stbl : Estimator.Plan.t Tbl.t; mutable local_hits : int }
 
 type t = {
   summary : Summary.t;
+  epoch : int;
   shard_capacity : int;
   mutex : Mutex.t;
   shared : Estimator.Plan.t Shared.t;  (* guarded by [mutex] *)
@@ -33,7 +34,7 @@ type t = {
   shard_key : shard Domain.DLS.key;
 }
 
-let create ?(capacity = 1024) ?shard_capacity summary =
+let create ?(capacity = 1024) ?shard_capacity ?(epoch = 0) summary =
   if capacity < 1 then invalid_arg "Plan_cache.create: capacity must be >= 1";
   let shard_capacity = match shard_capacity with Some c -> max 1 c | None -> capacity in
   let mutex = Mutex.create () in
@@ -41,6 +42,7 @@ let create ?(capacity = 1024) ?shard_capacity summary =
     lazy
       {
         summary;
+        epoch;
         shard_capacity;
         mutex;
         shared = Shared.create ~capacity;
@@ -58,6 +60,16 @@ let create ?(capacity = 1024) ?shard_capacity summary =
   Lazy.force t
 
 let summary t = t.summary
+
+let epoch t = t.epoch
+
+(* Every plan leaving the cache must carry the stamp of the cache's own
+   summary: a violation means a plan compiled under another summary leaked
+   in (or the cache was rebound), which would silently serve estimates for
+   the wrong dataset.  The check is one int compare per lookup. *)
+let check_plan t plan =
+  assert (Estimator.Plan.summary_stamp plan = Summary.stamp t.summary);
+  plan
 
 let store_local t shard k plan =
   if Tbl.length shard.stbl >= t.shard_capacity then Tbl.reset shard.stbl;
@@ -78,7 +90,7 @@ let plan_key_hit t scheme key =
   | Some plan ->
     shard.local_hits <- shard.local_hits + 1;
     Metrics.incr "plan_cache.hits";
-    (plan, true)
+    (check_plan t plan, true)
   | None ->
     Mutex.lock t.mutex;
     let shared = Shared.find t.shared k in
@@ -87,7 +99,7 @@ let plan_key_hit t scheme key =
       Mutex.unlock t.mutex;
       Metrics.incr "plan_cache.hits";
       store_local t shard k plan;
-      (plan, true)
+      (check_plan t plan, true)
     | None ->
       (* Compile outside the lock: concurrent first requests for the same
          query may compile twice, but the loser's plan is dropped in favor
@@ -107,7 +119,7 @@ let plan_key_hit t scheme key =
       in
       Mutex.unlock t.mutex;
       store_local t shard k plan;
-      (plan, false))
+      (check_plan t plan, false))
 
 let plan_key t scheme key = fst (plan_key_hit t scheme key)
 

@@ -13,13 +13,21 @@
 
 type t
 
-val create : ?capacity:int -> ?shard_capacity:int -> Tl_lattice.Summary.t -> t
+val create : ?capacity:int -> ?shard_capacity:int -> ?epoch:int -> Tl_lattice.Summary.t -> t
 (** A cache of at most [capacity] interned plans (default 1024; raises
     [Invalid_argument] below 1) over a fixed summary.  Each domain's
     read-through shard holds at most [shard_capacity] entries (default:
-    [capacity]) and refills from the shared table after being dropped. *)
+    [capacity]) and refills from the shared table after being dropped.
+    [epoch] (default 0) tags the cache with the serving epoch of the
+    summary it wraps; the cache itself only reports it back via {!epoch}.
+    Every plan served is asserted (in debug builds) to carry the
+    {!Tl_lattice.Summary.stamp} of this cache's summary, so a plan
+    compiled against another summary can never leak through. *)
 
 val summary : t -> Tl_lattice.Summary.t
+
+val epoch : t -> int
+(** The serving epoch this cache was created for. *)
 
 val plan : t -> Estimator.scheme -> Tl_twig.Twig.t -> Estimator.Plan.t
 (** The compiled plan for the query under the scheme: served from this

@@ -6,7 +6,15 @@ type entry = { key : Key.t; size : int; count : int }
 (* The table is keyed by the interned canonical id ({!Key.id}), so the
    estimators' lookups hash and compare ints; the canonical twig and its
    encoding ride along inside the stored {!Key.t}. *)
-type t = { k : int; complete : bool; table : (int, entry) Hashtbl.t }
+type t = { k : int; complete : bool; stamp : int; table : (int, entry) Hashtbl.t }
+
+(* Every summary instance gets a process-unique stamp.  Compiled plans
+   record the stamp of the summary they were built against, so the serving
+   layer can assert — cheaply, on an int — that a cached plan is never
+   evaluated under a different summary (see {!Tl_core.Plan_cache}). *)
+let next_stamp = Atomic.make 1
+
+let fresh_stamp () = Atomic.fetch_and_add next_stamp 1
 
 let of_patterns ~k ~complete patterns =
   if k < 2 then invalid_arg "Summary.of_patterns: k must be >= 2";
@@ -19,7 +27,7 @@ let of_patterns ~k ~complete patterns =
       if count < 0 then invalid_arg "Summary.of_patterns: negative count";
       Hashtbl.replace table (Key.id key) { key; size; count })
     patterns;
-  { k; complete; table }
+  { k; complete; stamp = fresh_stamp (); table }
 
 let of_mining (result : Tl_mining.Miner.result) =
   of_patterns ~k:result.max_size ~complete:true (Tl_mining.Miner.all result)
@@ -35,6 +43,8 @@ let build ?pool ?(k = 4) tree =
   summary
 
 let k t = t.k
+
+let stamp t = t.stamp
 
 let is_complete t = t.complete
 
@@ -89,7 +99,7 @@ let restrict t ~keep =
       if size <= 2 || keep (Key.twig key) count then Hashtbl.replace table id entry
       else incr dropped)
     t.table;
-  { k = t.k; complete = t.complete && !dropped = 0; table }
+  { k = t.k; complete = t.complete && !dropped = 0; stamp = fresh_stamp (); table }
 
 let merge a b =
   if a.k <> b.k then invalid_arg "Summary.merge: lattice depths differ";
@@ -100,4 +110,4 @@ let merge a b =
       | Some existing -> Hashtbl.replace table id { existing with count = existing.count + entry.count }
       | None -> Hashtbl.replace table id entry)
     b.table;
-  { k = a.k; complete = a.complete && b.complete; table }
+  { k = a.k; complete = a.complete && b.complete; stamp = fresh_stamp (); table }

@@ -37,6 +37,14 @@ val of_patterns : k:int -> complete:bool -> (Tl_twig.Twig.t * int) list -> t
 val k : t -> int
 (** The lattice depth. *)
 
+val stamp : t -> int
+(** Process-unique identity of this summary instance.  Every construction
+    site ({!build}, {!of_patterns}, {!restrict}, {!merge}) draws a fresh
+    stamp from a global counter, so two summaries — even byte-identical
+    ones — never share a stamp.  Compiled plans record the stamp of the
+    summary they were built against, letting serving layers assert that a
+    plan is never evaluated under a foreign summary. *)
+
 val is_complete : t -> bool
 (** False after δ-derivable pruning. *)
 

@@ -20,6 +20,7 @@ type t = {
   sock : Unix.file_descr;
   host : string;
   port : int;
+  timeout : float;
   routes : (string * (unit -> response)) list;
   stopping : bool Atomic.t;
   mutable thread : Thread.t option;
@@ -35,13 +36,30 @@ let reason = function
 
 let default_metrics () = text (Metrics.to_prometheus (Metrics.snapshot ()))
 
+(* The response writer must survive the transient errors a healthy but
+   slow scraper produces — [EINTR] (a signal landed) and [EAGAIN]/
+   [EWOULDBLOCK] (the send timeout expired while the client drained its
+   window) — or the body silently truncates mid-scrape.  Only a client
+   that is actually gone ([EPIPE]/[ECONNRESET]) or one that stalls for
+   [max_stalls] consecutive timeout periods without accepting a single
+   byte aborts the response (via [Exit], which the caller swallows). *)
 let write_all fd s =
   let len = String.length s in
   let off = ref 0 in
+  let max_stalls = 4 in
+  let stalls = ref 0 in
   while !off < len do
-    let n = Unix.write_substring fd s !off (len - !off) in
-    if n <= 0 then raise Exit;
-    off := !off + n
+    match Unix.write_substring fd s !off (len - !off) with
+    | n ->
+      if n <= 0 then raise Exit;
+      stalls := 0;
+      off := !off + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      incr stalls;
+      if !stalls >= max_stalls then raise Exit
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.ETIMEDOUT), _, _) ->
+      raise Exit
   done
 
 (* Read until the end of the request line; headers past it are ignored.
@@ -72,8 +90,8 @@ let respond fd r =
   write_all fd r.body
 
 let handle t fd =
-  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
-  Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0;
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.timeout;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.timeout;
   let line = read_request_line fd in
   Metrics.incr "exporter.requests";
   let resp =
@@ -113,7 +131,7 @@ let serve_loop t =
 let ignore_sigpipe =
   lazy (if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore)
 
-let start ?(host = "127.0.0.1") ?(port = 0) ?(routes = []) () =
+let start ?(host = "127.0.0.1") ?(port = 0) ?(timeout = 5.0) ?(routes = []) () =
   Lazy.force ignore_sigpipe;
   let addr = Unix.inet_addr_of_string host in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -134,7 +152,9 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(routes = []) () =
   let routes =
     if List.mem_assoc "/metrics" routes then routes else routes @ [ ("/metrics", default_metrics) ]
   in
-  let t = { sock; host; port; routes; stopping = Atomic.make false; thread = None } in
+  let t =
+    { sock; host; port; timeout = Float.max 0.01 timeout; routes; stopping = Atomic.make false; thread = None }
+  in
   t.thread <- Some (Thread.create serve_loop t);
   Metrics.set_gauge "exporter.port" port;
   Log.info (fun m -> m "exporter listening on http://%s:%d" host port);

@@ -21,13 +21,26 @@ val text : ?status:int -> string -> response
 type t
 
 val start :
-  ?host:string -> ?port:int -> ?routes:(string * (unit -> response)) list -> unit -> t
+  ?host:string ->
+  ?port:int ->
+  ?timeout:float ->
+  ?routes:(string * (unit -> response)) list ->
+  unit ->
+  t
 (** Bind [host] (default ["127.0.0.1"]) on [port] (default [0] = an
     ephemeral port, read back with {!port}), register [routes] (paths
     must start with ['/']; query strings are stripped before matching),
     and start the accept thread.  A route that raises answers 500 with
     the exception text; unknown paths answer 404.  Raises [Unix_error]
-    when the bind fails (e.g. the port is taken). *)
+    when the bind fails (e.g. the port is taken).
+
+    [timeout] (seconds, default 5.0) bounds each socket read and write.
+    The response writer is robust to a {e slow} scraper: interrupted and
+    timed-out partial writes are retried as long as the client keeps
+    accepting bytes, and only a gone client ([EPIPE]/[ECONNRESET]) or
+    several consecutive zero-progress timeout periods abort the response
+    — a throttled reader receives the full body instead of a silently
+    truncated one. *)
 
 val port : t -> int
 (** The actual bound port — useful with [port:0]. *)

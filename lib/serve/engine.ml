@@ -5,15 +5,17 @@ module Plan_cache = Tl_core.Plan_cache
 module Pool = Tl_util.Pool
 module Metrics = Tl_obs.Metrics
 
-type t = { scheme : Estimator.scheme; cache : Plan_cache.t }
+type t = { scheme : Estimator.scheme; epoch : int; cache : Plan_cache.t }
 
-let create ?(scheme = Tl_core.Treelattice.default_scheme) ?plan_capacity summary =
-  { scheme; cache = Plan_cache.create ?capacity:plan_capacity summary }
+let create ?(scheme = Tl_core.Treelattice.default_scheme) ?plan_capacity ?(epoch = 0) summary =
+  { scheme; epoch; cache = Plan_cache.create ?capacity:plan_capacity ~epoch summary }
 
-let of_treelattice ?scheme ?plan_capacity tl =
-  create ?scheme ?plan_capacity (Tl_core.Treelattice.summary tl)
+let of_treelattice ?scheme ?plan_capacity ?epoch tl =
+  create ?scheme ?plan_capacity ?epoch (Tl_core.Treelattice.summary tl)
 
 let scheme t = t.scheme
+
+let epoch t = t.epoch
 
 let summary t = Plan_cache.summary t.cache
 
@@ -41,6 +43,7 @@ let sanitize v =
    monitor's replayed truth for this query, when it sampled it. *)
 let eval_audited ~scheme ?extra ?exact t audit key =
   let t0 = Tl_obs.Clock.now_ns () in
+  assert (Plan_cache.epoch t.cache = t.epoch);
   let plan, plan_hit = Plan_cache.plan_key_hit t.cache scheme key in
   let raw, feedback_hit = Estimator.Plan.eval_flagged ?extra plan in
   let clamped = not (Float.is_finite raw) in
@@ -64,6 +67,7 @@ let eval_audited ~scheme ?extra ?exact t audit key =
 
 let estimate_key ?scheme ?extra ?audit t key =
   let scheme = Option.value scheme ~default:t.scheme in
+  assert (Plan_cache.epoch t.cache = t.epoch);
   match audit with
   | None -> sanitize (Estimator.Plan.eval ?extra (Plan_cache.plan_key t.cache scheme key))
   | Some audit -> eval_audited ~scheme ?extra t audit key

@@ -24,14 +24,26 @@
 
 type t
 
-val create : ?scheme:Tl_core.Estimator.scheme -> ?plan_capacity:int -> Tl_lattice.Summary.t -> t
+val create :
+  ?scheme:Tl_core.Estimator.scheme -> ?plan_capacity:int -> ?epoch:int -> Tl_lattice.Summary.t -> t
 (** An engine estimating with [scheme] by default
     ({!Tl_core.Treelattice.default_scheme}) and caching up to
-    [plan_capacity] compiled plans (see {!Tl_core.Plan_cache.create}). *)
+    [plan_capacity] compiled plans (see {!Tl_core.Plan_cache.create}).
+    [epoch] (default 0) stamps the engine with the serving epoch of its
+    summary — see {!Registry} for the lifecycle.  Both the engine and its
+    plan cache carry the epoch, and every evaluation asserts (in debug
+    builds) that the two still agree and that the served plan was compiled
+    against this engine's summary: a plan can never be evaluated under a
+    summary it was not built for. *)
 
-val of_treelattice : ?scheme:Tl_core.Estimator.scheme -> ?plan_capacity:int -> Tl_core.Treelattice.t -> t
+val of_treelattice :
+  ?scheme:Tl_core.Estimator.scheme -> ?plan_capacity:int -> ?epoch:int -> Tl_core.Treelattice.t -> t
 
 val scheme : t -> Tl_core.Estimator.scheme
+
+val epoch : t -> int
+(** The serving epoch this engine was created for (0 for standalone
+    engines built outside a {!Registry}). *)
 
 val summary : t -> Tl_lattice.Summary.t
 

@@ -1,0 +1,418 @@
+module Twig = Tl_twig.Twig
+module Summary = Tl_lattice.Summary
+module Summary_io = Tl_lattice.Summary_io
+module Data_tree = Tl_tree.Data_tree
+module Interner = Tl_util.Interner
+module Estimator = Tl_core.Estimator
+module Treelattice = Tl_core.Treelattice
+module Adaptive = Tl_core.Adaptive
+module Metrics = Tl_obs.Metrics
+
+(* A bundle's label space: the backing document's interner, or a
+   standalone name table for datasets loaded from a summary file alone.
+   Either way label ids are dense and name-addressable, which is what
+   query parsing and the by-name validation below need. *)
+type labels = Doc of Data_tree.t | Names of Interner.t
+
+type bundle = {
+  b_name : string;
+  b_epoch : int;
+  b_summary : Summary.t;
+  b_labels : labels;
+  b_engine : Engine.t;
+  b_adaptive : Adaptive.t option;
+  b_audit : Audit.t;
+  b_monitor : Monitor.t option;
+}
+
+(* Where a dataset came from, for [reload]. *)
+type dataset = {
+  d_name : string;
+  mutable d_source : string option;  (* guarded by the registry mutex *)
+  d_current : bundle Atomic.t;
+}
+
+type config = {
+  scheme : Estimator.scheme;
+  k : int;
+  plan_capacity : int option;
+  audit_capacity : int option;
+  adaptive_capacity : int option;
+  sample_rate : float;
+  drift_threshold : float;
+  drift_tree : Data_tree.t option;
+}
+
+let default_config =
+  {
+    scheme = Treelattice.default_scheme;
+    k = 4;
+    plan_capacity = None;
+    audit_capacity = None;
+    adaptive_capacity = None;
+    sample_rate = 0.0;
+    drift_threshold = 1.0;
+    drift_tree = None;
+  }
+
+type t = {
+  cfg : config;
+  mutex : Mutex.t;
+  table : (string, dataset) Hashtbl.t;  (* guarded by [mutex] *)
+  mutable order : string list;  (* installation order; guarded by [mutex] *)
+  next_epoch : int Atomic.t;
+  reload_alarm : bool Atomic.t;
+}
+
+let create ?(config = default_config) () =
+  Metrics.describe "registry.datasets" "Datasets currently installed in the serving registry";
+  Metrics.describe "registry.reloads_total" "Successful dataset swaps/reloads";
+  Metrics.describe "registry.reload_failures_total" "Failed dataset loads or validations";
+  Metrics.describe "registry.alarm" "Latching reload-failure alarm (1 = a reload has failed)";
+  Metrics.set_gauge "registry.datasets" 0;
+  Metrics.set_gauge "registry.alarm" 0;
+  {
+    cfg = config;
+    mutex = Mutex.create ();
+    table = Hashtbl.create 8;
+    order = [];
+    next_epoch = Atomic.make 1;
+    reload_alarm = Atomic.make false;
+  }
+
+let config t = t.cfg
+
+let alarm t = Atomic.get t.reload_alarm
+
+let clear_alarm t =
+  Atomic.set t.reload_alarm false;
+  Metrics.set_gauge "registry.alarm" 0
+
+let fail t msg =
+  Metrics.incr "registry.reload_failures_total";
+  Atomic.set t.reload_alarm true;
+  Metrics.set_gauge "registry.alarm" 1;
+  Tl_obs.Log.info (fun m -> m "registry: reload failed: %s" msg);
+  Error msg
+
+(* --- bundle construction ------------------------------------------------- *)
+
+let label_space = function Doc tree -> Data_tree.label_count tree | Names i -> Interner.size i
+
+let name_of_label labels l =
+  match labels with Doc tree -> Data_tree.label_name tree l | Names i -> Interner.name i l
+
+(* A summary whose twigs reference label ids outside the bundle's label
+   space was built against a different interner; serving it would return
+   selectivities of arbitrary other tags.  Rejected here, before any
+   bundle is built. *)
+let validate_labels ~labels summary =
+  let space = label_space labels in
+  let bad = ref (-1) in
+  let rec walk (tw : Twig.t) =
+    if tw.Twig.label < 0 || tw.Twig.label >= space then bad := tw.Twig.label;
+    List.iter walk tw.Twig.children
+  in
+  Summary.fold (fun twig _ () -> walk twig) summary ();
+  if !bad >= 0 then
+    Error
+      (Printf.sprintf
+         "summary label id %d is outside the dataset's label space (%d label(s)): summary and \
+          document interners do not match"
+         !bad space)
+  else Ok ()
+
+let make_monitor cfg ~labels ~adaptive =
+  if cfg.sample_rate <= 0.0 then None
+  else
+    let monitor oracle =
+      Some (Monitor.create ~sample_rate:cfg.sample_rate ~threshold:cfg.drift_threshold ~oracle ())
+    in
+    match cfg.drift_tree with
+    | Some drift_tree ->
+      (* Twig labels are interned per document: remap by tag name into the
+         drift document before counting there (a tag it lacks interns
+         fresh and counts zero — the right answer). *)
+      let count = Monitor.oracle_of_tree drift_tree in
+      monitor (fun key ->
+          let remap l = Data_tree.intern_label drift_tree (name_of_label labels l) in
+          let twig = Twig.canonicalize (Twig.map_labels remap (Twig.Key.twig key)) in
+          count (Twig.key twig))
+    | None -> (
+      (* Without a drift document the oracle replays against the dataset's
+         own document through the adaptive layer, so each sample also
+         feeds the workload-refinement loop.  Summary-only datasets have
+         no exact oracle at all. *)
+      match adaptive with Some a -> monitor (Monitor.oracle_of_adaptive a) | None -> None)
+
+let build_bundle t ~name ~epoch ~labels summary =
+  match validate_labels ~labels summary with
+  | Error _ as e -> e
+  | Ok () ->
+    let cfg = t.cfg in
+    let engine = Engine.create ~scheme:cfg.scheme ?plan_capacity:cfg.plan_capacity ~epoch summary in
+    let adaptive =
+      match labels with
+      | Doc tree ->
+        Some (Adaptive.create ?capacity:cfg.adaptive_capacity (Treelattice.of_summary tree summary))
+      | Names _ -> None
+    in
+    Ok
+      {
+        b_name = name;
+        b_epoch = epoch;
+        b_summary = summary;
+        b_labels = labels;
+        b_engine = engine;
+        b_adaptive = adaptive;
+        b_audit = Audit.create ?capacity:cfg.audit_capacity ();
+        b_monitor = make_monitor cfg ~labels ~adaptive;
+      }
+
+(* --- install / swap ------------------------------------------------------ *)
+
+let epoch_gauge name epoch = Metrics.set_gauge ("registry.epoch." ^ name) epoch
+
+let install t ~name ?source ~labels summary =
+  (* The epoch is drawn before the (possibly slow) bundle build; racing
+     installs for the same dataset thus resolve by epoch order below —
+     the bundle built later in program order can never be displaced by a
+     straggler holding an older epoch. *)
+  let epoch = Atomic.fetch_and_add t.next_epoch 1 in
+  match build_bundle t ~name ~epoch ~labels summary with
+  | Error _ as e -> e
+  | Ok bundle ->
+    Mutex.lock t.mutex;
+    let ds, fresh =
+      match Hashtbl.find_opt t.table name with
+      | Some ds -> (ds, false)
+      | None ->
+        let ds = { d_name = name; d_source = None; d_current = Atomic.make bundle } in
+        Hashtbl.replace t.table name ds;
+        t.order <- t.order @ [ name ];
+        (ds, true)
+    in
+    if (not fresh) && (Atomic.get ds.d_current).b_epoch < epoch then Atomic.set ds.d_current bundle;
+    (match source with Some s -> ds.d_source <- Some s | None -> ());
+    let current = Atomic.get ds.d_current in
+    let n_datasets = Hashtbl.length t.table in
+    Mutex.unlock t.mutex;
+    if not fresh then Metrics.incr "registry.reloads_total";
+    Metrics.set_gauge "registry.datasets" n_datasets;
+    epoch_gauge name current.b_epoch;
+    Tl_obs.Log.debug (fun m ->
+        m "registry: %s %s at epoch %d (%d entries)"
+          (if fresh then "installed" else "swapped")
+          name current.b_epoch (Summary.entries current.b_summary));
+    Ok current
+
+let find t name =
+  Mutex.lock t.mutex;
+  let ds = Hashtbl.find_opt t.table name in
+  Mutex.unlock t.mutex;
+  Option.map (fun ds -> Atomic.get ds.d_current) ds
+
+let dataset_names t =
+  Mutex.lock t.mutex;
+  let order = t.order in
+  Mutex.unlock t.mutex;
+  order
+
+let list t = List.filter_map (find t) (dataset_names t)
+
+let default t = match dataset_names t with [] -> None | name :: _ -> find t name
+
+let install_document ?pool t ~name ?source tree =
+  match Summary.build ?pool ~k:t.cfg.k tree with
+  | exception Invalid_argument msg -> fail t msg
+  | summary -> install t ~name ?source ~labels:(Doc tree) summary
+
+let install_summary t ~name ?source ~names summary =
+  let interner = Interner.create () in
+  Array.iter (fun n -> ignore (Interner.intern interner n)) names;
+  match install t ~name ?source ~labels:(Names interner) summary with
+  | Error msg -> fail t msg
+  | Ok _ as ok -> ok
+
+let swap t name summary =
+  match find t name with
+  | None -> fail t (Printf.sprintf "unknown dataset %S" name)
+  | Some cur -> (
+    match install t ~name ~labels:cur.b_labels summary with
+    | Error msg -> fail t msg
+    | Ok _ as ok -> ok)
+
+(* --- file loading -------------------------------------------------------- *)
+
+let load t name path =
+  if Filename.check_suffix path ".xml" then
+    match Data_tree.of_xml (Tl_xml.Xml_dom.parse_file path) with
+    | exception Sys_error msg -> fail t msg
+    | exception e -> fail t (Printf.sprintf "%s: %s" path (Printexc.to_string e))
+    | tree -> install_document t ~name ~source:path tree
+  else
+    let target = find t name in
+    let result =
+      match target with
+      | Some { b_labels = Doc tree; _ } ->
+        (* The satellite label-mismatch guard: a summary routed to a
+           document-backed dataset is re-keyed by tag name into the
+           document's interner, and a name the document lacks proves the
+           summary was not built from (a relabeling of) this document. *)
+        let intern tag =
+          match Data_tree.label_of_string tree tag with
+          | Some l -> l
+          | None ->
+            raise
+              (Summary_io.Format_error
+                 (Printf.sprintf "summary label %S does not occur in dataset %S's document" tag name))
+        in
+        (match Summary_io.load_file ~intern path with
+        | exception Summary_io.Format_error msg -> fail t (Printf.sprintf "%s: %s" path msg)
+        | exception Sys_error msg -> fail t msg
+        | summary, _names -> install t ~name ~source:path ~labels:(Doc tree) summary)
+      | Some { b_labels = Names _; _ } | None -> (
+        match Summary_io.load_file path with
+        | exception Summary_io.Format_error msg -> fail t (Printf.sprintf "%s: %s" path msg)
+        | exception Sys_error msg -> fail t msg
+        | summary, names -> install_summary t ~name ~source:path ~names summary)
+    in
+    (match result with Error _ -> () | Ok _ -> ());
+    result
+
+let reload t name =
+  let source =
+    Mutex.lock t.mutex;
+    let s = Option.bind (Hashtbl.find_opt t.table name) (fun ds -> ds.d_source) in
+    Mutex.unlock t.mutex;
+    s
+  in
+  match source with
+  | None -> fail t (Printf.sprintf "dataset %S has no recorded source to reload from" name)
+  | Some path -> load t name path
+
+let reload_all t =
+  List.filter_map
+    (fun name ->
+      let has_source =
+        Mutex.lock t.mutex;
+        let s = Option.bind (Hashtbl.find_opt t.table name) (fun ds -> ds.d_source) in
+        Mutex.unlock t.mutex;
+        Option.is_some s
+      in
+      if has_source then Some (name, reload t name) else None)
+    (dataset_names t)
+
+(* --- bundle accessors ---------------------------------------------------- *)
+
+let name b = b.b_name
+
+let epoch b = b.b_epoch
+
+let summary b = b.b_summary
+
+let engine b = b.b_engine
+
+let audit b = b.b_audit
+
+let monitor b = b.b_monitor
+
+let adaptive b = b.b_adaptive
+
+let tree b = match b.b_labels with Doc tree -> Some tree | Names _ -> None
+
+let label_names b =
+  match b.b_labels with Doc tree -> Data_tree.label_names tree | Names i -> Interner.names i
+
+(* --- query parsing ------------------------------------------------------- *)
+
+let intern_of b =
+  match b.b_labels with
+  | Doc tree -> fun tag -> Some (Data_tree.intern_label tree tag)
+  | Names i -> fun tag -> Some (Interner.intern i tag)
+
+(* Anchored-XPath scaling, as [Treelattice.estimate_xpath]: only matches
+   rooted at THE document root count, assuming matches spread uniformly
+   over root-labeled nodes.  A summary-only bundle has no document shape,
+   so it scales by the root tag's own level-1 occurrence count and cannot
+   check which tag the root is. *)
+let anchored_scale b (twig : Twig.t) estimate =
+  match b.b_labels with
+  | Doc tree ->
+    let root_label = Data_tree.label tree (Data_tree.root tree) in
+    if twig.Twig.label <> root_label then 0.0
+    else
+      let occurrences = Array.length (Data_tree.nodes_with_label tree root_label) in
+      estimate /. float_of_int (max 1 occurrences)
+  | Names _ ->
+    let occurrences =
+      match Summary.find b.b_summary (Twig.leaf twig.Twig.label) with Some c -> c | None -> 0
+    in
+    estimate /. float_of_int (max 1 occurrences)
+
+let parse_query b line =
+  let intern = intern_of b in
+  let from_twig () =
+    Result.map (fun twig -> (twig, fun e -> e)) (Tl_twig.Twig_parse.parse_twig ~intern line)
+  in
+  let from_xpath () =
+    match Tl_twig.Xpath.parse line with
+    | Error _ as e -> e
+    | Ok xp ->
+      Result.map
+        (fun twig ->
+          (twig, if xp.Tl_twig.Xpath.anchored then anchored_scale b twig else fun e -> e))
+        (Tl_twig.Xpath.to_twig ~intern xp)
+  in
+  let first, second =
+    if String.length line > 0 && line.[0] = '/' then (from_xpath, from_twig)
+    else (from_twig, from_xpath)
+  in
+  (* When both syntaxes reject the line, diagnose with the parser the line
+     looks like it was written for. *)
+  match first () with
+  | Ok parsed -> Ok parsed
+  | Error msg -> ( match second () with Ok parsed -> Ok parsed | Error _ -> Error msg)
+
+(* --- serving ------------------------------------------------------------- *)
+
+let batch ?pool b twigs =
+  let extra = Option.map Adaptive.lookup b.b_adaptive in
+  let results = Engine.batch ?pool ?extra ~audit:b.b_audit ?monitor:b.b_monitor b.b_engine twigs in
+  Metrics.add ("serve.queries." ^ b.b_name) (Array.length twigs);
+  Metrics.incr ("serve.batches." ^ b.b_name);
+  results
+
+(* --- /datasets ----------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let datasets_json t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"schema_version\": 1, \"reload_alarm\": %b, \"datasets\": [" (alarm t));
+  List.iteri
+    (fun i b ->
+      if i > 0 then Buffer.add_string buf ", ";
+      let drift_alarm = match b.b_monitor with Some m -> Monitor.alarm m | None -> false in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\": \"%s\", \"epoch\": %d, \"entries\": %d, \"k\": %d, \"kind\": \"%s\", \
+            \"alarm\": %b}"
+           (json_escape b.b_name) b.b_epoch (Summary.entries b.b_summary) (Summary.k b.b_summary)
+           (match b.b_labels with Doc _ -> "document" | Names _ -> "summary")
+           drift_alarm))
+    (list t);
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf

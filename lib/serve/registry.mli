@@ -1,0 +1,171 @@
+(** The dataset registry: epoch-versioned serving bundles with hot reload.
+
+    A registry names a collection of {e bundles}.  Each bundle is one
+    immutable serving unit — summary, compiled-plan cache ({!Engine}),
+    adaptive feedback state, audit ring, and drift monitor — stamped with
+    a registry-wide monotonically increasing {e epoch}.  {!swap} (and the
+    file-loading {!load}/{!reload}) builds and validates a replacement
+    bundle {e off} the serving path and installs it with a single atomic
+    pointer store:
+
+    - a batch holds the bundle it started with, so in-flight work always
+      finishes on the epoch it began on — there is no moment at which a
+      plan compiled under one summary can be evaluated under another (the
+      epoch threaded through {!Tl_core.Plan_cache} and {!Engine} asserts
+      this in debug builds);
+    - new batches pick up the new bundle on their next {!find};
+    - a failed load or validation leaves the old bundle serving untouched
+      — graceful degradation, surfaced through the
+      [tl_registry_reload_failures_total] counter and a latching
+      reload-failure {!alarm} (which does {e not} flip [/healthz]: the old
+      epoch is still healthy).
+
+    Label safety: a bundle knows its label space (the backing document's
+    interner, or a name table for summary-only datasets), and installing
+    a summary whose twigs reference labels outside that space — or, on
+    the file-loading path, whose embedded label {e names} are absent from
+    the routed document — is rejected with a descriptive error instead of
+    silently serving wrong selectivities.
+
+    Metrics: [registry.datasets], [registry.epoch.<name>] gauges,
+    [registry.reloads_total] / [registry.reload_failures_total] counters,
+    and the [registry.alarm] gauge (suffix-encoded names — the renderer
+    has no label support). *)
+
+type t
+
+type bundle
+(** One immutable serving unit.  Everything reachable from a bundle —
+    summary, engine, adaptive state, audit log, monitor — belongs to its
+    epoch and is never mutated by a subsequent {!swap}; holding a bundle
+    across a swap is safe and serves consistent (if stale) answers. *)
+
+type config = {
+  scheme : Tl_core.Estimator.scheme;  (** estimation scheme for all bundles *)
+  k : int;  (** lattice depth when mining a document *)
+  plan_capacity : int option;  (** per-bundle plan-cache capacity *)
+  audit_capacity : int option;  (** per-bundle audit-ring capacity *)
+  adaptive_capacity : int option;  (** per-bundle feedback-cache capacity *)
+  sample_rate : float;  (** drift-monitor sampling rate (0 = off) *)
+  drift_threshold : float;  (** drift-alarm p90 threshold *)
+  drift_tree : Tl_tree.Data_tree.t option;
+      (** replay sampled queries against this document (remapped by tag
+          name) instead of each dataset's own oracle *)
+}
+
+val default_config : config
+(** [default_scheme], [k = 4], default capacities, monitoring off. *)
+
+val create : ?config:config -> unit -> t
+(** An empty registry.  Registers the [registry.*] metrics immediately so
+    an idle scrape already shows the surface. *)
+
+val config : t -> config
+
+(** {2 Installing and swapping} *)
+
+val install_document :
+  ?pool:Tl_util.Pool.t -> t -> name:string -> ?source:string -> Tl_tree.Data_tree.t -> (bundle, string) result
+(** Mine [tree] at the configured [k] and install the result as dataset
+    [name] (creating it, or swapping an existing one).  [source] records
+    where the dataset came from, enabling {!reload}. *)
+
+val install_summary :
+  t -> name:string -> ?source:string -> names:string array -> Tl_lattice.Summary.t -> (bundle, string) result
+(** Install a pre-built summary as a {e summary-only} dataset: label ids
+    in the summary's twigs index [names].  Summary-only bundles estimate
+    and audit like document-backed ones but have no adaptive feedback or
+    exact oracle (so no drift monitor unless [config.drift_tree] is set). *)
+
+val swap : t -> string -> Tl_lattice.Summary.t -> (bundle, string) result
+(** [swap t name summary] installs a fresh bundle around [summary] for
+    the existing dataset [name], keeping its label space and source.  The
+    new summary is validated against that label space first; on [Error]
+    the old bundle keeps serving and the reload-failure alarm latches.
+    Returns the bundle now current for [name]. *)
+
+val load : t -> string -> string -> (bundle, string) result
+(** [load t name path] routes [path] into dataset [name]: a [*.xml] path
+    is parsed and mined ({!install_document}); anything else is read as a
+    serialized summary ({!Tl_lattice.Summary_io}).  A summary routed to a
+    document-backed dataset is re-keyed into the document's interner by
+    tag {e name} and rejected if it names a tag the document lacks; a
+    summary routed to a new or summary-only dataset brings its own label
+    table.  All failures (I/O, parse, validation) degrade gracefully:
+    [Error] with the old bundle — if any — still serving. *)
+
+val reload : t -> string -> (bundle, string) result
+(** Re-run {!load} from the dataset's recorded source path. *)
+
+val reload_all : t -> (string * (bundle, string) result) list
+(** {!reload} every dataset that has a recorded source, in installation
+    order (datasets installed programmatically are skipped). *)
+
+(** {2 Lookup} *)
+
+val find : t -> string -> bundle option
+(** The current bundle of dataset [name] — one lock-protected table probe
+    plus one atomic read.  Callers serve a whole batch from the bundle
+    they got, picking up swaps only between batches. *)
+
+val default : t -> bundle option
+(** The first-installed dataset's current bundle (the serving default for
+    queries that do not name a dataset). *)
+
+val dataset_names : t -> string list
+(** Installation order. *)
+
+val list : t -> bundle list
+(** Current bundles, in installation order. *)
+
+val alarm : t -> bool
+(** The latching reload-failure alarm: raised by the first failed
+    {!swap}/{!load}/{!reload} and held until {!clear_alarm}.  Distinct
+    from the per-bundle drift alarm ({!Monitor.alarm}). *)
+
+val clear_alarm : t -> unit
+
+val datasets_json : t -> string
+(** The [/datasets] payload: a single JSON object listing every dataset's
+    name, epoch, summary entry count, lattice depth, kind
+    ([document]/[summary]), and drift-alarm state, plus the registry-wide
+    reload alarm. *)
+
+(** {2 Bundles} *)
+
+val name : bundle -> string
+
+val epoch : bundle -> int
+(** The registry-wide epoch this bundle was installed at; strictly
+    increasing across installs of any dataset. *)
+
+val summary : bundle -> Tl_lattice.Summary.t
+
+val engine : bundle -> Engine.t
+
+val audit : bundle -> Audit.t
+
+val monitor : bundle -> Monitor.t option
+
+val adaptive : bundle -> Tl_core.Adaptive.t option
+
+val tree : bundle -> Tl_tree.Data_tree.t option
+(** The backing document ([None] for summary-only datasets). *)
+
+val label_names : bundle -> string array
+(** The bundle's label space, indexed by label id. *)
+
+val parse_query : bundle -> string -> (Tl_twig.Twig.t * (float -> float), string) result
+(** One query line in twig or XPath syntax, parsed against the bundle's
+    label space; unknown tags intern fresh (selectivity 0), syntax errors
+    are diagnosed with the parser the line looks written for.  The
+    returned transform applies anchored-XPath scaling: against a document
+    it mirrors {!Tl_core.Treelattice.estimate_xpath} exactly; a
+    summary-only bundle scales by the root tag's own level-1 occurrence
+    count instead (the document shape is unavailable). *)
+
+val batch : ?pool:Tl_util.Pool.t -> bundle -> Tl_twig.Twig.t array -> float array
+(** {!Engine.batch} through the bundle's full serving stack: adaptive
+    feedback as the [?extra] source (document-backed bundles), the audit
+    ring, and the drift monitor when configured.  Also bumps the
+    per-dataset [serve.queries.<name>]/[serve.batches.<name>] counters. *)

@@ -131,7 +131,14 @@ let costed_boundaries ~n ~domains ~cost src =
 let parallel_chunked_map pool ?chunk_size ?cost ~init f src =
   let n = Array.length src in
   if pool.stopped then invalid_arg "Pool: map on a shut-down pool";
-  if pool.n_domains <= 1 || n <= 1 then sequential_map ~init f src
+  (* Empty input: no chunks, no participants, and — like the parallel
+     path, whose participants create state lazily — no [init] call.  This
+     also keeps [costed_boundaries] out of reach of [total = 0] inputs:
+     per-item costs are clamped to [>= 1] there, so an all-zero (or
+     negative) cost function can never yield a zero divisor or an empty
+     chunk, but only when there is at least one item to charge. *)
+  if n = 0 then [||]
+  else if pool.n_domains <= 1 || n <= 1 then sequential_map ~init f src
   else begin
     let boundaries =
       match cost with

@@ -57,7 +57,11 @@ val parallel_chunked_map :
     an equal item count, which stops one expensive item — claimed late,
     bundled with a long run of cheap ones — from serializing the tail of
     the map.  Hints only shape chunking; results are identical with or
-    without them. *)
+    without them.
+
+    Degenerate inputs are safe: an empty array returns [[||]] without
+    calling [init], [cost], or [f], and an all-zero or negative cost
+    function can never produce a zero divisor or an empty chunk. *)
 
 val shutdown : t -> unit
 (** Join all worker domains.  Idempotent; mapping on a shut-down pool

@@ -134,6 +134,56 @@ lattice-resident query:
   $ grep '^serve: drift' serve_err.txt
   serve: drift: 2 sampled, window 2, rel error p50 0.0000 p90 0.0000 p99 0.0000, alarm ok (0 raised)
 
+A final line without a trailing newline is still a query, not lost
+input: both batch and serve flush the pending batch at EOF.
+
+  $ printf 'open_auction(bidder)' | treelattice batch --xml auction.xml -k 3 2>/dev/null
+  query                 estimate
+  --------------------  --------
+  open_auction(bidder)    120.00
+  $ printf 'open_auction(bidder)' | treelattice serve --xml auction.xml -k 3 2>serve_eof.txt | tr '\t' ' '
+  open_auction(bidder) 120.00
+  $ grep -E 'serve: [0-9]+ queries' serve_eof.txt
+  serve: 1 queries in 1 batch(es), 1 audit record(s) retained
+
+The registry serves several datasets side by side: NAME:query routes a
+line, unprefixed lines go to the first dataset, and a "reload NAME PATH"
+control line swaps in a new summary at a bumped epoch while estimates
+keep flowing (auction.summary was mined from the same document, so the
+reloaded answers are unchanged):
+
+  $ printf '<shop><item><price/></item><item><price/></item><item/></shop>' > shop.xml
+  $ printf 'd1:open_auction(bidder)\nd2:item(price)\nopen_auction(bidder)\n\nreload d1 auction.summary\nd1:open_auction(bidder)' > multi_q.txt
+  $ treelattice serve --dataset d1=auction.xml --dataset d2=shop.xml -k 3 \
+  >   --queries multi_q.txt 2>multi_err.txt | tr '\t' ' '
+  d1:open_auction(bidder) 120.00
+  d2:item(price) 2.00
+  open_auction(bidder) 120.00
+  d1:open_auction(bidder) 120.00
+  $ grep -E '^serve: dataset' multi_err.txt | sed 's/([0-9]* entries) in [0-9.]* ms/(N entries)/'
+  serve: dataset d1 ready at epoch 1 (N entries)
+  serve: dataset d2 ready at epoch 2 (N entries)
+  $ grep '^serve: reloaded' multi_err.txt | sed 's/([0-9]* entries)/(N entries)/'
+  serve: reloaded d1 -> epoch 3 (N entries)
+  $ grep -E 'serve: [0-9]+ queries' multi_err.txt
+  serve: 4 queries in 2 batch(es), 2 audit record(s) retained
+
+A reload from a corrupt file degrades gracefully — the error is
+reported, the old epoch keeps serving, and the exit telemetry flags the
+latched alarm:
+
+  $ printf 'not a summary\n' > corrupt.summary
+  $ printf 'open_auction(bidder)\n\nreload default corrupt.summary\nopen_auction(bidder)' > degrade_q.txt
+  $ treelattice serve --xml auction.xml -k 3 --queries degrade_q.txt 2>degrade_err.txt | tr '\t' ' '
+  open_auction(bidder) 120.00
+  open_auction(bidder) 120.00
+  $ grep -c '^serve: reload default failed:' degrade_err.txt
+  1
+  $ grep '(previous epoch keeps serving)' degrade_err.txt > /dev/null && echo degraded
+  degraded
+  $ grep '^serve: reload alarm' degrade_err.txt
+  serve: reload alarm raised (a reload failed; old epochs kept serving)
+
 Unknown experiment ids fail loudly:
 
   $ treelattice exp --quick no-such-experiment 2>&1 | tail -1

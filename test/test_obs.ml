@@ -352,6 +352,59 @@ let test_exporter_round_trip () =
   Tl_obs.Exporter.stop exporter;
   Tl_obs.Exporter.stop exporter (* idempotent *)
 
+(* The partial-write regression: a scraper that accepts the response
+   slower than the socket's send timeout used to get a silently truncated
+   body (the first EAGAIN was treated as a dead client).  The reader here
+   refuses to read while the server fills every buffer and rides out
+   whole timeout periods, then pauses again mid-drain — the full
+   Content-Length body must still arrive, byte for byte. *)
+let test_exporter_survives_throttled_reader () =
+  let body = String.init (2 * 1024 * 1024) (fun i -> Char.chr (Char.code 'a' + (i mod 26))) in
+  let exporter =
+    Tl_obs.Exporter.start ~timeout:0.25
+      ~routes:[ ("/big", fun () -> Tl_obs.Exporter.text body) ]
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Tl_obs.Exporter.stop exporter) @@ fun () ->
+  let port = Tl_obs.Exporter.port exporter in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let req = "GET /big HTTP/1.0\r\n\r\n" in
+  ignore (Unix.write_substring sock req 0 (String.length req));
+  (* Stall past the send timeout before accepting a single byte. *)
+  Unix.sleepf 0.6;
+  let buf = Buffer.create (String.length body) in
+  let chunk = Bytes.create 65536 in
+  let paused_midway = ref false in
+  let rec drain () =
+    let n = Unix.read sock chunk 0 (Bytes.length chunk) in
+    if n > 0 then begin
+      Buffer.add_subbytes buf chunk 0 n;
+      if (not !paused_midway) && Buffer.length buf > String.length body / 2 then begin
+        paused_midway := true;
+        Unix.sleepf 0.6
+      end;
+      drain ()
+    end
+  in
+  drain ();
+  let response = Buffer.contents buf in
+  Alcotest.(check int) "throttled scrape still 200" 200 (status_of response);
+  let body_start =
+    let rec find i =
+      if i + 4 > String.length response then Alcotest.fail "no header terminator"
+      else if String.sub response i 4 = "\r\n\r\n" then i + 4
+      else find (i + 1)
+    in
+    find 0
+  in
+  let received = String.sub response body_start (String.length response - body_start) in
+  Alcotest.(check int) "full Content-Length received" (String.length body)
+    (String.length received);
+  Alcotest.(check bool) "body intact" true (String.equal body received)
+
 (* --- explain traces ------------------------------------------------------- *)
 
 let golden_doc = TB.node "a" [ TB.node "b" [ TB.leaf "c" ]; TB.node "b" [ TB.leaf "c" ] ]
@@ -447,6 +500,8 @@ let () =
         [
           Alcotest.test_case "scrape round trip over a real socket" `Quick
             test_exporter_round_trip;
+          Alcotest.test_case "throttled reader gets the whole body" `Slow
+            test_exporter_survives_throttled_reader;
         ] );
       ( "explain",
         [

@@ -126,6 +126,47 @@ let prop_cost_hints_never_change_results =
             input
           = Array.map (fun x -> x + 1) input))
 
+(* The empty-input guard: no chunks exist, so none of the callbacks may
+   run — in particular [cost] must not be consulted on the way to a
+   [total = 0] division. *)
+let test_chunked_empty_calls_nothing () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      let inits = Atomic.make 0 and costs = Atomic.make 0 and apps = Atomic.make 0 in
+      let init () =
+        Atomic.incr inits;
+        ()
+      in
+      let f () x =
+        Atomic.incr apps;
+        x * x
+      in
+      let cost _ =
+        Atomic.incr costs;
+        0
+      in
+      Alcotest.check int_array "empty without cost" [||] (Pool.parallel_chunked_map pool ~init f [||]);
+      Alcotest.check int_array "empty with all-zero cost" [||]
+        (Pool.parallel_chunked_map pool ~cost ~init f [||]);
+      Alcotest.(check int) "init never called" 0 (Atomic.get inits);
+      Alcotest.(check int) "cost never called" 0 (Atomic.get costs);
+      Alcotest.(check int) "f never called" 0 (Atomic.get apps))
+
+(* Arbitrary cost functions — random lookup tables mixing zero, negative
+   and huge hints — must only ever shape chunk boundaries, never results,
+   and must never divide by zero or cut an empty chunk. *)
+let prop_arbitrary_cost_functions_are_hints_only =
+  Helpers.qcheck_case ~name:"arbitrary cost tables yield the sequential result" ~count:40
+    QCheck2.Gen.(
+      pair
+        (array_size (int_range 1 8) (oneofl [ -1_000_000; -1; 0; 1; 7; 10_000; max_int / 4 ]))
+        (int_range 0 150))
+    (fun (table, n) ->
+      Pool.with_pool ~domains:4 (fun pool ->
+          let input = Array.init n (fun i -> (i * 6007) mod 509) in
+          let cost x = table.(x mod Array.length table) in
+          Pool.parallel_chunked_map pool ~cost ~init:(fun () -> ()) (fun () x -> x * 3) input
+          = Array.map (fun x -> x * 3) input))
+
 let prop_chunk_sizes_never_change_results =
   Helpers.qcheck_case ~name:"any chunk size yields the sequential result" ~count:30
     QCheck2.Gen.(pair (int_range 1 17) (int_range 0 120))
@@ -151,7 +192,10 @@ let () =
           Alcotest.test_case "with_pool value" `Quick test_with_pool_returns_value;
           Alcotest.test_case "default domains" `Quick test_default_domains_positive;
           Alcotest.test_case "cost hints" `Quick test_cost_hint_matches_sequential;
+          Alcotest.test_case "empty chunked input calls nothing" `Quick
+            test_chunked_empty_calls_nothing;
           prop_chunk_sizes_never_change_results;
           prop_cost_hints_never_change_results;
+          prop_arbitrary_cost_functions_are_hints_only;
         ] );
     ]

@@ -1,0 +1,333 @@
+(* Tests for the dataset registry: epoch-versioned bundles, hot swap,
+   graceful degradation, label-space validation, and the acceptance
+   stress — a swap racing a multi-domain batch can only ever produce the
+   bit-exact answers of one epoch, never a blend. *)
+
+module Twig = Tl_twig.Twig
+module Summary = Tl_lattice.Summary
+module Summary_io = Tl_lattice.Summary_io
+module Data_tree = Tl_tree.Data_tree
+module Estimator = Tl_core.Estimator
+module Treelattice = Tl_core.Treelattice
+module Metrics = Tl_obs.Metrics
+module Registry = Tl_serve.Registry
+
+let same_float a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let check_bits name a b =
+  Alcotest.(check bool) (Printf.sprintf "%s: %h = %h" name a b) true (same_float a b)
+
+let counter name =
+  match List.assoc_opt name (Metrics.snapshot ()).Metrics.counters with Some n -> n | None -> 0
+
+let gauge name =
+  match List.assoc_opt name (Metrics.snapshot ()).Metrics.gauges with Some n -> n | None -> 0
+
+let fig11_queries = [ "a(b(c,d))"; "a(b(c),b(d))"; "a(b,b)"; "b(c,d)"; "a(b(c,d),b)" ]
+
+let contains ~needle hay = Tl_util.Prelude.string_contains ~needle hay
+
+(* Direct estimates under [summary] with the registry's configured scheme:
+   the reference every served batch must reproduce bit-for-bit. *)
+let baseline summary twigs =
+  Array.map (fun twig -> Estimator.estimate summary Treelattice.default_scheme twig) twigs
+
+(* --- install / find / epochs --------------------------------------------- *)
+
+let test_install_find_epochs () =
+  Metrics.reset ();
+  let t = Registry.create () in
+  Alcotest.(check bool) "empty default" true (Registry.default t = None);
+  Alcotest.(check bool) "empty find" true (Registry.find t "x" = None);
+  let fig11 = Helpers.tree_of Helpers.fig11_spec in
+  let regular = Helpers.tree_of Helpers.regular_spec in
+  let b1 = Result.get_ok (Registry.install_document t ~name:"fig11" fig11) in
+  let b2 = Result.get_ok (Registry.install_document t ~name:"regular" regular) in
+  Alcotest.(check string) "name recorded" "fig11" (Registry.name b1);
+  Alcotest.(check bool) "epochs strictly increase across datasets" true
+    (Registry.epoch b2 > Registry.epoch b1);
+  Alcotest.(check (list string)) "installation order" [ "fig11"; "regular" ]
+    (Registry.dataset_names t);
+  (match Registry.default t with
+  | Some b -> Alcotest.(check string) "default = first installed" "fig11" (Registry.name b)
+  | None -> Alcotest.fail "default missing");
+  (match Registry.find t "regular" with
+  | Some b -> Alcotest.(check int) "find returns current epoch" (Registry.epoch b2) (Registry.epoch b)
+  | None -> Alcotest.fail "find missing");
+  Alcotest.(check int) "datasets gauge" 2 (gauge "registry.datasets");
+  Alcotest.(check int) "fresh installs are not reloads" 0 (counter "registry.reloads_total");
+  (* A swap of an existing dataset bumps the epoch and the reload counter. *)
+  let b3 = Result.get_ok (Registry.swap t "fig11" (Summary.build ~k:2 fig11)) in
+  Alcotest.(check bool) "swap epoch beats every prior epoch" true
+    (Registry.epoch b3 > Registry.epoch b2);
+  Alcotest.(check int) "swap counted as reload" 1 (counter "registry.reloads_total");
+  Alcotest.(check int) "epoch gauge tracks the swap" (Registry.epoch b3)
+    (gauge "registry.epoch.fig11");
+  let json = Registry.datasets_json t in
+  Alcotest.(check bool) "json lists fig11" true (contains ~needle:{|"name": "fig11"|} json);
+  Alcotest.(check bool) "json carries the live epoch" true
+    (contains ~needle:(Printf.sprintf {|"epoch": %d|} (Registry.epoch b3)) json);
+  Alcotest.(check bool) "json kind document" true (contains ~needle:{|"kind": "document"|} json);
+  Alcotest.(check bool) "json alarm clear" true (contains ~needle:{|"reload_alarm": false|} json)
+
+let test_swap_serves_new_summary_old_bundle_stays_consistent () =
+  Metrics.reset ();
+  let t = Registry.create () in
+  let tree = Helpers.tree_of Helpers.fig11_spec in
+  let twigs = Array.of_list (List.map (Helpers.twig_of_string tree) fig11_queries) in
+  let old_bundle = Result.get_ok (Registry.install_document t ~name:"d" tree) in
+  let old_expected = baseline (Registry.summary old_bundle) twigs in
+  let fresh_summary = Summary.build ~k:2 tree in
+  let new_bundle = Result.get_ok (Registry.swap t "d" fresh_summary) in
+  let new_expected = baseline fresh_summary twigs in
+  Array.iteri
+    (fun i r -> check_bits (Printf.sprintf "new bundle query %d" i) new_expected.(i) r)
+    (Registry.batch new_bundle twigs);
+  (* The displaced bundle is immutable: held across the swap it still
+     answers exactly as its own epoch did. *)
+  Array.iteri
+    (fun i r -> check_bits (Printf.sprintf "old bundle query %d" i) old_expected.(i) r)
+    (Registry.batch old_bundle twigs);
+  (match Registry.find t "d" with
+  | Some b -> Alcotest.(check int) "find serves the new epoch" (Registry.epoch new_bundle) (Registry.epoch b)
+  | None -> Alcotest.fail "dataset vanished")
+
+(* --- graceful degradation ------------------------------------------------- *)
+
+let test_swap_failure_keeps_old_and_latches_alarm () =
+  Metrics.reset ();
+  let t = Registry.create () in
+  let tree = Helpers.tree_of Helpers.fig11_spec in
+  let good = Result.get_ok (Registry.install_document t ~name:"d" tree) in
+  (* A summary whose twig labels lie outside the document's label space:
+     built against a foreign interner, must be rejected at the gate. *)
+  let foreign = Summary.of_patterns ~k:2 ~complete:false [ (Twig.leaf 99, 5) ] in
+  (match Registry.swap t "d" foreign with
+  | Ok _ -> Alcotest.fail "foreign summary accepted"
+  | Error msg ->
+    Alcotest.(check bool) "error names the label mismatch" true
+      (contains ~needle:"label" msg && contains ~needle:"99" msg));
+  Alcotest.(check bool) "alarm latched" true (Registry.alarm t);
+  Alcotest.(check int) "failure counted" 1 (counter "registry.reload_failures_total");
+  Alcotest.(check int) "alarm gauge raised" 1 (gauge "registry.alarm");
+  Alcotest.(check bool) "json reports the alarm" true
+    (contains ~needle:{|"reload_alarm": true|} (Registry.datasets_json t));
+  (match Registry.find t "d" with
+  | Some b -> Alcotest.(check int) "old epoch keeps serving" (Registry.epoch good) (Registry.epoch b)
+  | None -> Alcotest.fail "dataset vanished");
+  (* The alarm latches across later successes and clears only explicitly. *)
+  ignore (Result.get_ok (Registry.swap t "d" (Summary.build ~k:2 tree)));
+  Alcotest.(check bool) "alarm survives a successful swap" true (Registry.alarm t);
+  Registry.clear_alarm t;
+  Alcotest.(check bool) "clear_alarm clears" false (Registry.alarm t);
+  Alcotest.(check int) "alarm gauge cleared" 0 (gauge "registry.alarm");
+  (* Swapping an unknown dataset is a failure, not a creation. *)
+  (match Registry.swap t "nope" (Summary.build ~k:2 tree) with
+  | Ok _ -> Alcotest.fail "swap created a dataset"
+  | Error msg -> Alcotest.(check bool) "unknown dataset named" true (contains ~needle:"nope" msg));
+  Alcotest.(check bool) "failure re-latches" true (Registry.alarm t)
+
+let with_temp_file contents f =
+  let path = Filename.temp_file "tl_registry" ".summary" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (match contents with
+      | Some body ->
+        let oc = open_out path in
+        output_string oc body;
+        close_out oc
+      | None -> ());
+      f path)
+
+let test_load_rejects_label_name_mismatch () =
+  Metrics.reset ();
+  let t = Registry.create () in
+  let tree = Helpers.tree_of Helpers.fig11_spec in
+  let good = Result.get_ok (Registry.install_document t ~name:"d" tree) in
+  (* A summary mined from a DIFFERENT document (tags x/y/z) serialized to
+     disk, then routed into the fig11-backed dataset: the by-name re-keying
+     must reject it because fig11 has no such tags. *)
+  let other = Helpers.tree_of (Tl_tree.Tree_builder.node "x" [ Tl_tree.Tree_builder.leaf "y" ]) in
+  let other_summary = Summary.build ~k:2 other in
+  with_temp_file None (fun path ->
+      Summary_io.save_file ~names:(Data_tree.label_names other) path other_summary;
+      match Registry.load t "d" path with
+      | Ok _ -> Alcotest.fail "mismatched summary accepted"
+      | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error explains the mismatch: %s" msg)
+          true
+          (contains ~needle:"does not occur" msg));
+  Alcotest.(check bool) "alarm latched" true (Registry.alarm t);
+  (match Registry.find t "d" with
+  | Some b -> Alcotest.(check int) "old epoch keeps serving" (Registry.epoch good) (Registry.epoch b)
+  | None -> Alcotest.fail "dataset vanished");
+  (* A summary over the document's own tags routes in cleanly. *)
+  with_temp_file None (fun path ->
+      Summary_io.save_file ~names:(Data_tree.label_names tree) path (Summary.build ~k:2 tree);
+      let b = Result.get_ok (Registry.load t "d" path) in
+      Alcotest.(check bool) "epoch advanced" true (Registry.epoch b > Registry.epoch good);
+      (* The recorded source makes the dataset reloadable. *)
+      let b2 = Result.get_ok (Registry.reload t "d") in
+      Alcotest.(check bool) "reload advances again" true (Registry.epoch b2 > Registry.epoch b))
+
+let test_corrupt_file_degrades_gracefully () =
+  Metrics.reset ();
+  let t = Registry.create () in
+  let tree = Helpers.tree_of Helpers.fig11_spec in
+  let good = Result.get_ok (Registry.install_document t ~name:"d" tree) in
+  let twigs = Array.of_list (List.map (Helpers.twig_of_string tree) fig11_queries) in
+  let expected = baseline (Registry.summary good) twigs in
+  with_temp_file (Some "this is not a summary\n") (fun path ->
+      match Registry.load t "d" path with
+      | Ok _ -> Alcotest.fail "corrupt file accepted"
+      | Error _ -> ());
+  (match Registry.load t "d" "/nonexistent/path.summary" with
+  | Ok _ -> Alcotest.fail "missing file accepted"
+  | Error _ -> ());
+  Alcotest.(check int) "both failures counted" 2 (counter "registry.reload_failures_total");
+  (match Registry.find t "d" with
+  | Some b ->
+    Alcotest.(check int) "old epoch serving" (Registry.epoch good) (Registry.epoch b);
+    Array.iteri
+      (fun i r -> check_bits (Printf.sprintf "degraded query %d" i) expected.(i) r)
+      (Registry.batch b twigs)
+  | None -> Alcotest.fail "dataset vanished");
+  (* No recorded source: reload must fail descriptively, not crash. *)
+  match Registry.reload t "d" with
+  | Ok _ -> Alcotest.fail "reload without source succeeded"
+  | Error msg -> Alcotest.(check bool) "no-source diagnosed" true (contains ~needle:"source" msg)
+
+(* --- summary-only datasets ------------------------------------------------ *)
+
+let test_summary_only_dataset () =
+  Metrics.reset ();
+  let t = Registry.create () in
+  let tree = Helpers.tree_of Helpers.fig11_spec in
+  let summary = Summary.build ~k:3 tree in
+  let names = Data_tree.label_names tree in
+  let b = Result.get_ok (Registry.install_summary t ~name:"s" ~names summary) in
+  Alcotest.(check bool) "no backing tree" true (Registry.tree b = None);
+  Alcotest.(check bool) "no adaptive state" true (Registry.adaptive b = None);
+  Alcotest.(check (array string)) "label space preserved" names (Registry.label_names b);
+  Alcotest.(check bool) "json kind summary" true
+    (contains ~needle:{|"kind": "summary"|} (Registry.datasets_json t));
+  let parse line =
+    match Registry.parse_query b line with
+    | Ok (twig, tf) -> (twig, tf)
+    | Error msg -> Alcotest.failf "parse %S: %s" line msg
+  in
+  let twigs = Array.of_list (List.map (fun q -> fst (parse q)) fig11_queries) in
+  let expected = baseline summary twigs in
+  Array.iteri
+    (fun i r -> check_bits (Printf.sprintf "summary-only query %d" i) expected.(i) r)
+    (Registry.batch b twigs);
+  (* Unknown tags intern fresh and estimate 0 — the negative-workload
+     contract, same as the document-backed path. *)
+  let ghost, _ = parse "ghost(phantom)" in
+  check_bits "unknown tag" 0.0 (Registry.batch b [| ghost |]).(0);
+  (* Anchored XPath scales by the root tag's own occurrence count: fig11
+     has four b-nodes, so /b/c divides its match count by 4. *)
+  let twig, tf = parse "/b/c" in
+  let raw = (Registry.batch b [| twig |]).(0) in
+  check_bits "anchored scale divides by root-tag occurrences" (raw /. 4.0) (tf raw);
+  (* Syntax errors diagnose with the parser the line was written for. *)
+  (match Registry.parse_query b "/a[" with
+  | Ok _ -> Alcotest.fail "garbage parsed"
+  | Error _ -> ());
+  match Registry.parse_query b "a((" with Ok _ -> Alcotest.fail "garbage parsed" | Error _ -> ()
+
+let test_document_parse_query_matches_front_end () =
+  let t = Registry.create () in
+  let tree = Helpers.tree_of Helpers.fig11_spec in
+  let b = Result.get_ok (Registry.install_document t ~name:"d" tree) in
+  let tl = Treelattice.of_summary tree (Registry.summary b) in
+  List.iter
+    (fun line ->
+      match Registry.parse_query b line with
+      | Error msg -> Alcotest.failf "parse %S: %s" line msg
+      | Ok (twig, tf) ->
+        let served = tf (Registry.batch b [| twig |]).(0) in
+        let direct = Result.get_ok (Treelattice.estimate_xpath tl line) in
+        check_bits (Printf.sprintf "xpath %s" line) direct served)
+    [ "/a/b"; "/a/b[c]"; "//b[c][d]"; "/b" ]
+
+(* --- the acceptance stress ------------------------------------------------ *)
+
+(* Concurrent swap during a multi-domain batch: servers race [find]+[batch]
+   against a main-domain loop swapping between two summaries of different
+   depth.  Every served batch must be bit-identical to the direct estimates
+   of exactly one of the two summaries — never a mixture.  Raw
+   [Domain.spawn] keeps the server domains independent of any pool. *)
+let test_concurrent_swap_bit_identity () =
+  let tree = Helpers.tree_of Helpers.fig11_spec in
+  let t = Registry.create () in
+  ignore (Result.get_ok (Registry.install_document t ~name:"d" tree));
+  let summary_a = Summary.build ~k:2 tree in
+  let summary_b = Summary.build ~k:3 tree in
+  let distinct = Array.of_list (List.map (Helpers.twig_of_string tree) fig11_queries) in
+  let batch = Array.init 40 (fun i -> distinct.(i mod Array.length distinct)) in
+  let expected_a = baseline summary_a batch in
+  let expected_b = baseline summary_b batch in
+  (* The blend check only has teeth if the two summaries disagree. *)
+  Alcotest.(check bool) "k=2 and k=3 estimates differ somewhere" false
+    (Array.for_all2 same_float expected_a expected_b);
+  ignore (Result.get_ok (Registry.swap t "d" summary_a));
+  let stop = Atomic.make false in
+  let blends = Atomic.make 0 in
+  let batches = Atomic.make 0 in
+  let server () =
+    while not (Atomic.get stop) do
+      match Registry.find t "d" with
+      | None -> Atomic.incr blends
+      | Some b ->
+        let results = Registry.batch b batch in
+        let matches expected = Array.for_all2 same_float results expected in
+        if matches expected_a || matches expected_b then Atomic.incr batches
+        else Atomic.incr blends
+    done
+  in
+  let servers = List.init 3 (fun _ -> Domain.spawn server) in
+  for i = 1 to 40 do
+    ignore (Result.get_ok (Registry.swap t "d" (if i mod 2 = 0 then summary_a else summary_b)))
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join servers;
+  Alcotest.(check int) "no blended batch ever served" 0 (Atomic.get blends);
+  Alcotest.(check bool) "servers actually served" true (Atomic.get batches > 0);
+  (* Epochs stayed monotonic through the churn. *)
+  match Registry.find t "d" with
+  | Some b -> Alcotest.(check bool) "final epoch past all swaps" true (Registry.epoch b >= 41)
+  | None -> Alcotest.fail "dataset vanished"
+
+let () =
+  Alcotest.run "registry"
+    [
+      ( "lifecycle",
+        [
+          Alcotest.test_case "install, find, epochs, json" `Quick test_install_find_epochs;
+          Alcotest.test_case "swap serves new, old bundle stays consistent" `Quick
+            test_swap_serves_new_summary_old_bundle_stays_consistent;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "swap failure keeps old bundle, alarm latches" `Quick
+            test_swap_failure_keeps_old_and_latches_alarm;
+          Alcotest.test_case "load rejects label-name mismatch" `Quick
+            test_load_rejects_label_name_mismatch;
+          Alcotest.test_case "corrupt and missing files degrade" `Quick
+            test_corrupt_file_degrades_gracefully;
+        ] );
+      ( "summary_only",
+        [
+          Alcotest.test_case "install, parse, batch, unknown tags" `Quick test_summary_only_dataset;
+          Alcotest.test_case "document xpath = front-end" `Quick
+            test_document_parse_query_matches_front_end;
+        ] );
+      ( "stress",
+        [
+          Alcotest.test_case "concurrent swap never blends epochs" `Quick
+            test_concurrent_swap_bit_identity;
+        ] );
+    ]
