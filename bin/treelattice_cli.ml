@@ -642,8 +642,46 @@ let serve_cmd =
             "Keep the HTTP endpoint up for $(docv) seconds after the query input drains, so a \
              scraper can collect the final state.")
   in
+  let listen_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "listen" ] ~docv:"PORT"
+          ~doc:
+            "Also serve queries over TCP on 127.0.0.1:$(docv) (0 = ephemeral; see \
+             $(b,--server-port-file)).  Same line protocol as stdin: '[NAME:]query' per line, \
+             blank line flushes the batch; each answer line is estimate, epoch, dataset and \
+             scheme (tab-separated), and overloaded connections are shed with a 'busy' line.")
+  in
+  let server_port_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "server-port-file" ] ~docv:"FILE"
+          ~doc:"Write the bound TCP query port to $(docv) once listening.")
+  in
+  let server_workers_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "server-workers" ] ~docv:"N"
+          ~doc:"Worker threads serving TCP connections (default 4).")
+  in
+  let server_queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "server-queue" ] ~docv:"N"
+          ~doc:
+            "Admission-queue bound: accepted TCP connections waiting for a worker beyond \
+             $(docv) are shed with a 'busy' response (default 64).")
+  in
+  let server_json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Answer TCP queries with one JSON object per line instead of tab-separated text.")
+  in
   let run obs xml k scheme jobs datasets queries_file port port_file sample_rate drift_threshold
-      drift_xml audit_out linger =
+      drift_xml audit_out linger listen server_port_file server_workers server_queue server_json =
     with_obs obs @@ fun () ->
     Tl_util.Pool.with_pool ~domains:(max 1 jobs) @@ fun pool ->
     let module Registry = Tl_serve.Registry in
@@ -652,8 +690,11 @@ let serve_cmd =
     let dataset_specs =
       List.map
         (fun spec ->
+          (* Both sides must be non-empty: "NAME=" would otherwise surface
+             later as a confusing empty-path load failure, "=PATH" as a
+             dataset nothing can route to. *)
           match String.index_opt spec '=' with
-          | Some i when i > 0 ->
+          | Some i when i > 0 && i < String.length spec - 1 ->
             (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
           | _ ->
             Printf.eprintf "serve: bad --dataset %S (expected NAME=PATH)\n%!" spec;
@@ -754,20 +795,62 @@ let serve_cmd =
           ]
         ()
     in
-    let shutdown () =
-      Tl_obs.Exporter.stop exporter;
-      Option.iter
-        (fun path ->
-          let oc = open_out path in
-          let n =
-            List.fold_left
-              (fun acc b -> acc + Audit.dump_jsonl (Registry.audit b) oc)
-              0 (Registry.list registry)
-          in
-          close_out oc;
-          Printf.eprintf "serve: wrote %d audit record(s) to %s\n%!" n path)
-        audit_out
+    let server =
+      Option.map
+        (fun sport ->
+          Tl_serve.Server.start
+            ~config:
+              {
+                Tl_serve.Server.default_config with
+                Tl_serve.Server.port = sport;
+                workers = max 1 server_workers;
+                queue_capacity = max 1 server_queue;
+                json = server_json;
+              }
+            ~pool ~default:default_name registry)
+        listen
     in
+    (* Idempotent finalizer: reached through [Fun.protect] on the normal
+       path and straight from the SIGTERM handler — either way the TCP
+       front-end drains first (in-flight batches finish on their epoch),
+       then the HTTP endpoint stops, then the audit log flushes. *)
+    let finalized = Atomic.make false in
+    let shutdown () =
+      if not (Atomic.exchange finalized true) then begin
+        Option.iter
+          (fun s ->
+            let st = Tl_serve.Server.stats s in
+            Tl_serve.Server.stop s;
+            Printf.eprintf
+              "serve: tcp front-end drained (%d connection(s), %d query(ies), %d batch(es), %d \
+               shed)\n\
+               %!"
+              st.Tl_serve.Server.connections st.Tl_serve.Server.queries
+              st.Tl_serve.Server.batches st.Tl_serve.Server.shed)
+          server;
+        Tl_obs.Exporter.stop exporter;
+        Option.iter
+          (fun path ->
+            let oc = open_out path in
+            let n =
+              List.fold_left
+                (fun acc b -> acc + Audit.dump_jsonl (Registry.audit b) oc)
+                0 (Registry.list registry)
+            in
+            close_out oc;
+            Printf.eprintf "serve: wrote %d audit record(s) to %s\n%!" n path)
+          audit_out
+      end
+    in
+    (try
+       ignore
+         (Sys.signal Sys.sigterm
+            (Sys.Signal_handle
+               (fun _ ->
+                 Printf.eprintf "serve: SIGTERM: draining\n%!";
+                 shutdown ();
+                 Stdlib.exit 0)))
+     with Invalid_argument _ | Sys_error _ -> ());
     (* SIGHUP requests a reload of every dataset; the flag is checked at
        loop iterations and batch boundaries (best-effort while blocked on
        input — the explicit `reload` control line is the deterministic
@@ -807,6 +890,17 @@ let serve_cmd =
       port_file;
     Printf.eprintf
       "serve: listening on http://127.0.0.1:%d (/metrics /audit /healthz /datasets)\n%!" bound;
+    Option.iter
+      (fun s ->
+        let sport = Tl_serve.Server.port s in
+        Option.iter
+          (fun path ->
+            let oc = open_out path in
+            Printf.fprintf oc "%d\n" sport;
+            close_out oc)
+          server_port_file;
+        Printf.eprintf "serve: tcp query front-end on 127.0.0.1:%d\n%!" sport)
+      server;
     let ic, close_ic =
       match queries_file with
       | None -> (stdin, fun () -> ())
@@ -948,11 +1042,14 @@ let serve_cmd =
           epoch they started with, and a failed reload leaves the previous epoch serving.  The \
           drift monitor samples $(b,--sample-rate) of distinct queries and replays them against \
           an exact oracle over each dataset's document (or $(b,--drift-xml) to detect a stale \
-          summary).")
+          summary).  $(b,--listen PORT) additionally serves the same line protocol over TCP \
+          with bounded admission: a fixed worker pool, a bounded queue, 'busy' load-shedding \
+          under overload, and a graceful drain on SIGTERM.")
     Term.(
       const run $ obs_term $ xml_opt_arg $ k_arg $ scheme_arg $ jobs_arg $ dataset_arg
       $ queries_arg $ port_arg $ port_file_arg $ sample_rate_arg $ drift_threshold_arg
-      $ drift_xml_arg $ audit_out_arg $ linger_arg)
+      $ drift_xml_arg $ audit_out_arg $ linger_arg $ listen_arg $ server_port_file_arg
+      $ server_workers_arg $ server_queue_arg $ server_json_arg)
 
 (* --- prune ------------------------------------------------------------------- *)
 

@@ -18,13 +18,26 @@ let sub_twigs_occur prev_level candidate =
    independent, so a batch is counted across a domain pool when one is
    given: every participant clones the shared context (private DP buffers
    over the shared immutable tree) and results come back in input order,
-   so the final per-level sort sees exactly the sequential result set. *)
+   so the final per-level sort sees exactly the sequential result set.
+
+   Counting one candidate costs time proportional to the document, so the
+   work in a batch is [candidates * nodes].  Below [parallel_work_budget]
+   of that product the fan-out overhead (helper wake-up, chunk-cursor
+   contention, end-of-map rendezvous, cross-domain GC rendezvous)
+   outweighs the counting itself — the bench's parallel-build section
+   measured 0.5-0.7x "speedups" on small documents before this floor
+   existed — so such batches stay on the sequential path (identical
+   results either way; the parallel-build bench asserts it). *)
+let parallel_work_budget = 16_000_000
+
 let count_batch ?pool ctx candidates =
   let count cctx candidate = (candidate, Match_count.selectivity cctx candidate) in
   match pool with
   | None -> Array.map (count ctx) candidates
   | Some pool ->
+    let nodes = max 1 (Data_tree.size (Match_count.tree ctx)) in
     Tl_util.Pool.parallel_chunked_map pool
+      ~cutoff:(parallel_work_budget / nodes)
       ~init:(fun () -> Match_count.clone_ctx ctx)
       count candidates
 

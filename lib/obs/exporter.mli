@@ -48,3 +48,20 @@ val port : t -> int
 val stop : t -> unit
 (** Stop accepting, join the endpoint thread, close the socket.
     Idempotent. *)
+
+(** {1 Socket plumbing shared with other servers}
+
+    The TCP query front-end ({!Tl_serve.Server}) faces the same transient
+    socket errors as a scrape endpoint; it reuses this module's write
+    discipline instead of growing a second, subtly different copy. *)
+
+val write_all : Unix.file_descr -> string -> unit
+(** Write the whole string, retrying [EINTR] and up to four consecutive
+    zero-progress [EAGAIN]/[EWOULDBLOCK] timeout periods; a gone client
+    ([EPIPE]/[ECONNRESET]/[ETIMEDOUT]) or a persistent stall raises
+    [Exit], which callers treat as "drop this connection". *)
+
+val ignore_sigpipe : unit Lazy.t
+(** Force once before serving sockets: turns a client disconnect into an
+    [EPIPE] error on the write path instead of a process-killing
+    SIGPIPE. *)

@@ -84,6 +84,13 @@ let eval_cost key =
   let s = Twig.Key.size key in
   s * s
 
+(* Below this many distinct queries a batch evaluates on the caller: a
+   warm evaluation is nanoseconds per query, so the pool's wake/rendezvous
+   overhead dwarfs a tiny batch — the common shape of one TCP client
+   flushing a handful of lines.  Kept low so multi-domain stress tests
+   (which use ~a dozen distinct queries) still exercise the pooled path. *)
+let eval_parallel_cutoff = 8
+
 let batch_keys ?pool ?scheme ?extra ?audit ?monitor t keys =
   let scheme = Option.value scheme ~default:t.scheme in
   let n = Array.length keys in
@@ -121,8 +128,8 @@ let batch_keys ?pool ?scheme ?extra ?audit ?monitor t keys =
       let eval key = estimate_key ~scheme ?extra t key in
       (match pool with
       | Some pool when Pool.domains pool > 1 ->
-        Pool.parallel_chunked_map pool ~cost:eval_cost ~init:(fun () -> ()) (fun () -> eval)
-          uniques
+        Pool.parallel_chunked_map pool ~cutoff:eval_parallel_cutoff ~cost:eval_cost
+          ~init:(fun () -> ()) (fun () -> eval) uniques
       | _ -> Array.map eval uniques)
     | Some audit ->
       let indexed = Array.mapi (fun u key -> (u, key)) uniques in
@@ -132,7 +139,7 @@ let batch_keys ?pool ?scheme ?extra ?audit ?monitor t keys =
       in
       (match pool with
       | Some pool when Pool.domains pool > 1 ->
-        Pool.parallel_chunked_map pool
+        Pool.parallel_chunked_map pool ~cutoff:eval_parallel_cutoff
           ~cost:(fun (_, key) -> eval_cost key)
           ~init:(fun () -> ())
           (fun () -> eval)

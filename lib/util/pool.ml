@@ -8,6 +8,7 @@ type t = {
   mutex : Mutex.t;
   wake : Condition.t;
   jobs : (unit -> unit) Queue.t;
+  map_mutex : Mutex.t;  (* serializes whole maps: one in flight at a time *)
   mutable stopped : bool;
   mutable workers : unit Domain.t list;
 }
@@ -43,6 +44,7 @@ let create ?domains () =
       mutex = Mutex.create ();
       wake = Condition.create ();
       jobs = Queue.create ();
+      map_mutex = Mutex.create ();
       stopped = false;
       workers = [];
     }
@@ -128,7 +130,17 @@ let costed_boundaries ~n ~domains ~cost src =
   done;
   Array.of_list (List.rev (n :: !cuts))
 
-let parallel_chunked_map pool ?chunk_size ?cost ~init f src =
+(* Below [cutoff] items a map is not worth distributing: waking helper
+   domains, contending the chunk cursor, and the end-of-map rendezvous
+   cost tens of microseconds, which a small batch of cheap elements never
+   earns back — the bench's parallel-build section measured small-document
+   summary construction at 0.5-0.7x of sequential before this fallback
+   existed.  The threshold is an item count because items are all the
+   pool can see; callers that know their per-item cost scale it
+   (e.g. {!Tl_mining.Miner} divides a work budget by document size). *)
+let default_cutoff = 2
+
+let parallel_chunked_map pool ?(cutoff = default_cutoff) ?chunk_size ?cost ~init f src =
   let n = Array.length src in
   if pool.stopped then invalid_arg "Pool: map on a shut-down pool";
   (* Empty input: no chunks, no participants, and — like the parallel
@@ -138,8 +150,15 @@ let parallel_chunked_map pool ?chunk_size ?cost ~init f src =
      negative) cost function can never yield a zero divisor or an empty
      chunk, but only when there is at least one item to charge. *)
   if n = 0 then [||]
-  else if pool.n_domains <= 1 || n <= 1 then sequential_map ~init f src
+  else if pool.n_domains <= 1 || n <= 1 || n < cutoff then sequential_map ~init f src
   else begin
+    (* One map in flight at a time: concurrent callers (the TCP server's
+       worker threads, the CLI loop) serialize here instead of interleaving
+       their helper jobs in the shared queue.  The lock is not reentrant,
+       so nesting a map inside a mapped function still deadlocks — that
+       contract is unchanged. *)
+    Mutex.lock pool.map_mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock pool.map_mutex) @@ fun () ->
     let boundaries =
       match cost with
       | Some cost -> costed_boundaries ~n ~domains:pool.n_domains ~cost src
@@ -192,5 +211,5 @@ let parallel_chunked_map pool ?chunk_size ?cost ~init f src =
         dst
   end
 
-let parallel_map pool f src =
-  parallel_chunked_map pool ~init:(fun () -> ()) (fun () x -> f x) src
+let parallel_map pool ?cutoff f src =
+  parallel_chunked_map pool ?cutoff ~init:(fun () -> ()) (fun () x -> f x) src

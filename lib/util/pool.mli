@@ -9,10 +9,13 @@
     caller's own sequential path, so results are bit-identical with or
     without a pool.
 
-    Maps must be issued from the domain that created the pool, one at a
-    time; nesting a map inside a mapped function deadlocks.  Worker domains
-    idle cheaply between calls (blocked on a condition variable), so one
-    pool can and should be reused across a whole run. *)
+    Maps may be issued from any thread of the domain that created the
+    pool; concurrent maps serialize on an internal (non-reentrant) lock,
+    so the TCP server's worker threads and the CLI loop can share one
+    pool without caller-side coordination.  Nesting a map inside a mapped
+    function still deadlocks.  Worker domains idle cheaply between calls
+    (blocked on a condition variable), so one pool can and should be
+    reused across a whole run. *)
 
 type t
 
@@ -28,15 +31,16 @@ val create : ?domains:int -> unit -> t
 val domains : t -> int
 (** Total participants, including the calling domain. *)
 
-val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
+val parallel_map : t -> ?cutoff:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map pool f arr] is [Array.map f arr] with elements evaluated
     across the pool's domains.  [f] must not touch mutable state shared
     with other elements.  The first exception raised by any [f] is
     re-raised in the caller (with its backtrace) after all participants
-    stop claiming work. *)
+    stop claiming work.  See {!parallel_chunked_map} for [cutoff]. *)
 
 val parallel_chunked_map :
   t ->
+  ?cutoff:int ->
   ?chunk_size:int ->
   ?cost:('a -> int) ->
   init:(unit -> 's) ->
@@ -58,6 +62,16 @@ val parallel_chunked_map :
     bundled with a long run of cheap ones — from serializing the tail of
     the map.  Hints only shape chunking; results are identical with or
     without them.
+
+    [cutoff] is the work-size floor for going parallel: inputs with fewer
+    than [cutoff] items run on the caller's sequential path (identical
+    results — the qcheck property in [test/test_pool.ml] holds for every
+    cutoff).  Waking helpers, contending the chunk cursor, and the
+    end-of-map rendezvous cost real time that a small batch of cheap
+    elements never earns back; callers that know their per-item cost
+    should scale the floor accordingly (the miner divides a work budget
+    by document size, the serving engine uses a fixed small floor).  The
+    default keeps every multi-element input parallel.
 
     Degenerate inputs are safe: an empty array returns [[||]] without
     calling [init], [cost], or [f], and an all-zero or negative cost

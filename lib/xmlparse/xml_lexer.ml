@@ -93,6 +93,11 @@ let scan_reference t =
       with _ -> error t (Printf.sprintf "malformed character reference %S" digits)
     in
     if code < 0 || code > 0x10FFFF then error t "character reference out of range";
+    (* Surrogates sit inside the scalar range check above but are not
+       scalar values — [Uchar.of_int] would raise an unpositioned
+       [Invalid_argument] on them. *)
+    if code >= 0xD800 && code <= 0xDFFF then
+      error t (Printf.sprintf "character reference U+%04X is a surrogate" code);
     (* Encode the code point as UTF-8. *)
     let buf = Buffer.create 4 in
     Buffer.add_utf_8_uchar buf (Uchar.of_int code);

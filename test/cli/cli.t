@@ -184,6 +184,20 @@ latched alarm:
   $ grep '^serve: reload alarm' degrade_err.txt
   serve: reload alarm raised (a reload failed; old epochs kept serving)
 
+Malformed --dataset specs are rejected eagerly — an empty NAME or an
+empty PATH exits 2 before anything loads, instead of surfacing later as
+a confusing load failure:
+
+  $ treelattice serve --dataset d1= -k 3
+  serve: bad --dataset "d1=" (expected NAME=PATH)
+  [2]
+  $ treelattice serve --dataset =auction.xml -k 3
+  serve: bad --dataset "=auction.xml" (expected NAME=PATH)
+  [2]
+  $ treelattice serve --dataset no-equals-sign -k 3
+  serve: bad --dataset "no-equals-sign" (expected NAME=PATH)
+  [2]
+
 Unknown experiment ids fail loudly:
 
   $ treelattice exp --quick no-such-experiment 2>&1 | tail -1

@@ -167,6 +167,58 @@ let prop_arbitrary_cost_functions_are_hints_only =
           Pool.parallel_chunked_map pool ~cost ~init:(fun () -> ()) (fun () x -> x * 3) input
           = Array.map (fun x -> x * 3) input))
 
+(* The work-size cutoff may only pick the path, never the answer: any
+   cutoff (engaged, disengaged, absurd, non-positive) yields exactly the
+   sequential result. *)
+let prop_cutoff_never_changes_results =
+  Helpers.qcheck_case ~name:"any cutoff yields the sequential result" ~count:40
+    QCheck2.Gen.(pair (int_range (-5) 200) (int_range 0 120))
+    (fun (cutoff, n) ->
+      Pool.with_pool ~domains:3 (fun pool ->
+          let input = Array.init n (fun i -> (i * 7919) mod 251) in
+          Pool.parallel_chunked_map pool ~cutoff ~init:(fun () -> ()) (fun () x -> x * 5) input
+          = Array.map (fun x -> x * 5) input
+          && Pool.parallel_map pool ~cutoff (fun x -> x * 5) input
+             = Array.map (fun x -> x * 5) input))
+
+let test_cutoff_small_input_stays_on_caller () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let caller = Domain.self () in
+      let on_caller = Atomic.make true in
+      let check () = if Domain.self () <> caller then Atomic.set on_caller false in
+      let run cutoff n =
+        ignore
+          (Pool.parallel_chunked_map pool ~cutoff
+             ~init:(fun () -> ())
+             (fun () x ->
+               check ();
+               x)
+             (Array.init n Fun.id))
+      in
+      (* Below the cutoff every element runs on the calling domain. *)
+      Atomic.set on_caller true;
+      run 64 63;
+      Alcotest.(check bool) "below cutoff: sequential" true (Atomic.get on_caller))
+
+(* Maps issued concurrently from several threads of the creating domain
+   serialize on the internal lock: all complete, all with the sequential
+   result — the shape of the TCP server's worker threads sharing the
+   evaluation pool with the CLI loop. *)
+let test_concurrent_maps_from_threads () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      let failures = Atomic.make 0 in
+      let body tid =
+        for round = 1 to 10 do
+          let n = 20 + ((tid * 13 + round * 7) mod 50) in
+          let input = Array.init n (fun i -> i + tid) in
+          let got = Pool.parallel_map pool (fun x -> (x * x) + 1) input in
+          if got <> Array.map (fun x -> (x * x) + 1) input then Atomic.incr failures
+        done
+      in
+      let threads = List.init 4 (fun tid -> Thread.create body tid) in
+      List.iter Thread.join threads;
+      Alcotest.(check int) "all concurrent maps correct" 0 (Atomic.get failures))
+
 let prop_chunk_sizes_never_change_results =
   Helpers.qcheck_case ~name:"any chunk size yields the sequential result" ~count:30
     QCheck2.Gen.(pair (int_range 1 17) (int_range 0 120))
@@ -194,8 +246,12 @@ let () =
           Alcotest.test_case "cost hints" `Quick test_cost_hint_matches_sequential;
           Alcotest.test_case "empty chunked input calls nothing" `Quick
             test_chunked_empty_calls_nothing;
+          Alcotest.test_case "cutoff keeps small inputs on the caller" `Quick
+            test_cutoff_small_input_stays_on_caller;
+          Alcotest.test_case "concurrent maps from threads" `Quick test_concurrent_maps_from_threads;
           prop_chunk_sizes_never_change_results;
           prop_cost_hints_never_change_results;
           prop_arbitrary_cost_functions_are_hints_only;
+          prop_cutoff_never_changes_results;
         ] );
     ]

@@ -301,6 +301,85 @@ let test_concurrent_swap_bit_identity () =
   | Some b -> Alcotest.(check bool) "final epoch past all swaps" true (Registry.epoch b >= 41)
   | None -> Alcotest.fail "dataset vanished"
 
+(* The same no-blend guarantee, end to end through the TCP front-end: a
+   connection streaming batches while the main thread hot-swaps the routed
+   dataset must observe only whole-epoch results — every answer line in a
+   batch carries one epoch, and the batch's estimates are bit-identical to
+   exactly one summary's direct estimates (the %.17g wire format makes
+   that comparison exact). *)
+let test_reload_through_socket_serves_whole_epochs () =
+  let tree = Helpers.tree_of Helpers.fig11_spec in
+  let t = Registry.create () in
+  ignore (Result.get_ok (Registry.install_document t ~name:"d" tree));
+  let summary_a = Summary.build ~k:2 tree in
+  let summary_b = Summary.build ~k:3 tree in
+  let twigs = Array.of_list (List.map (Helpers.twig_of_string tree) fig11_queries) in
+  let expected_a = baseline summary_a twigs in
+  let expected_b = baseline summary_b twigs in
+  Alcotest.(check bool) "k=2 and k=3 estimates differ somewhere" false
+    (Array.for_all2 same_float expected_a expected_b);
+  ignore (Result.get_ok (Registry.swap t "d" summary_a));
+  let server = Tl_serve.Server.start t in
+  Fun.protect ~finally:(fun () -> Tl_serve.Server.stop server) @@ fun () ->
+  let request =
+    String.concat "\n" fig11_queries ^ "\n\n"
+  in
+  let blends = Atomic.make 0 in
+  let mixed_epochs = Atomic.make 0 in
+  let batches = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let client () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Tl_serve.Server.port server));
+    while not (Atomic.get stop) do
+      output_string oc request;
+      flush oc;
+      let answers = ref [] in
+      (try
+         let continue = ref true in
+         while !continue do
+           match input_line ic with
+           | "" -> continue := false
+           | line -> answers := line :: !answers
+         done
+       with End_of_file -> ());
+      let answers = List.rev !answers in
+      if List.length answers <> Array.length twigs then Atomic.incr blends
+      else begin
+        let parsed =
+          List.map
+            (fun line ->
+              match String.split_on_char '\t' line with
+              | [ est; epoch; _; _ ] -> (float_of_string est, int_of_string epoch)
+              | _ -> (Float.nan, -1))
+            answers
+        in
+        let estimates = Array.of_list (List.map fst parsed) in
+        let epochs = List.map snd parsed in
+        (match epochs with
+        | e :: rest -> if not (List.for_all (Int.equal e) rest) then Atomic.incr mixed_epochs
+        | [] -> ());
+        let matches expected = Array.for_all2 same_float estimates expected in
+        if matches expected_a || matches expected_b then Atomic.incr batches
+        else Atomic.incr blends
+      end
+    done;
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  in
+  let clients = List.init 2 (fun _ -> Thread.create client ()) in
+  for i = 1 to 30 do
+    ignore (Result.get_ok (Registry.swap t "d" (if i mod 2 = 0 then summary_a else summary_b)));
+    Thread.yield ()
+  done;
+  Thread.delay 0.1;
+  Atomic.set stop true;
+  List.iter Thread.join clients;
+  Alcotest.(check int) "no blended batch over the wire" 0 (Atomic.get blends);
+  Alcotest.(check int) "no mixed-epoch batch over the wire" 0 (Atomic.get mixed_epochs);
+  Alcotest.(check bool) "clients actually served" true (Atomic.get batches > 0)
+
 let () =
   Alcotest.run "registry"
     [
@@ -329,5 +408,7 @@ let () =
         [
           Alcotest.test_case "concurrent swap never blends epochs" `Quick
             test_concurrent_swap_bit_identity;
+          Alcotest.test_case "reload through a live socket serves whole epochs" `Quick
+            test_reload_through_socket_serves_whole_epochs;
         ] );
     ]

@@ -1,0 +1,299 @@
+(* Tests for the TCP query front-end: protocol shape, routing, JSON mode,
+   concurrent clients reproducing the sequential reference bit-for-bit,
+   admission-control shedding under a tiny queue, and graceful drain. *)
+
+module Twig = Tl_twig.Twig
+module Summary = Tl_lattice.Summary
+module Estimator = Tl_core.Estimator
+module Treelattice = Tl_core.Treelattice
+module Metrics = Tl_obs.Metrics
+module Registry = Tl_serve.Registry
+module Server = Tl_serve.Server
+
+let same_float a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let counter name =
+  match List.assoc_opt name (Metrics.snapshot ()).Metrics.counters with Some n -> n | None -> 0
+
+let fig11_queries = [ "a(b(c,d))"; "a(b(c),b(d))"; "a(b,b)"; "b(c,d)"; "a(b(c,d),b)" ]
+
+let contains ~needle hay = Tl_util.Prelude.string_contains ~needle hay
+
+(* The reference every TCP answer must reproduce bit-for-bit. *)
+let baseline summary twigs =
+  Array.map (fun twig -> Estimator.estimate summary Treelattice.default_scheme twig) twigs
+
+let registry_with_fig11 () =
+  let tree = Helpers.tree_of Helpers.fig11_spec in
+  let t = Registry.create () in
+  let bundle = Result.get_ok (Registry.install_document t ~name:"d" tree) in
+  (t, tree, bundle)
+
+let with_server ?config ?pool registry f =
+  let server = Server.start ?config ?pool registry in
+  Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server)
+
+(* --- a tiny test client ---------------------------------------------------- *)
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let with_client port f =
+  let fd = connect port in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> f fd (Unix.in_channel_of_descr fd) (Unix.out_channel_of_descr fd))
+
+let send oc s =
+  output_string oc s;
+  flush oc
+
+(* Answer lines up to (and consuming) the blank batch terminator. *)
+let read_batch ic =
+  let rec go acc =
+    match input_line ic with
+    | "" -> List.rev acc
+    | line -> go (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  go []
+
+type answer = Ok of float * int * string * string | Err of string
+
+let parse_answer line =
+  match String.split_on_char '\t' line with
+  | [ "error"; msg ] -> Err msg
+  | [ est; epoch; ds; scheme ] -> Ok (float_of_string est, int_of_string epoch, ds, scheme)
+  | _ -> Alcotest.failf "unparseable answer line %S" line
+
+(* --- protocol -------------------------------------------------------------- *)
+
+let test_protocol_basics () =
+  let t, tree, bundle = registry_with_fig11 () in
+  let twigs = Array.of_list (List.map (Helpers.twig_of_string tree) fig11_queries) in
+  let expected = baseline (Registry.summary bundle) twigs in
+  let scheme_name = Estimator.scheme_name Treelattice.default_scheme in
+  with_server t @@ fun server ->
+  with_client (Server.port server) @@ fun _fd ic oc ->
+  (* Comments are skipped, bad lines answer in place, order is input
+     order, and the %.17g estimate round-trips bit-exactly. *)
+  send oc "# a comment\na(b(c,d))\nnot a query (((\nb(c,d)\n\n";
+  (match read_batch ic with
+  | [ l0; l1; l2 ] -> (
+    (match parse_answer l0 with
+    | Ok (est, epoch, ds, scheme) ->
+      Alcotest.(check bool) "query 0 bits" true (same_float est expected.(0));
+      Alcotest.(check int) "epoch" (Registry.epoch bundle) epoch;
+      Alcotest.(check string) "dataset" "d" ds;
+      Alcotest.(check string) "scheme" scheme_name scheme
+    | Err m -> Alcotest.failf "unexpected error %S" m);
+    (match parse_answer l1 with
+    | Err _ -> ()
+    | Ok _ -> Alcotest.fail "malformed line must answer error");
+    match parse_answer l2 with
+    | Ok (est, _, _, _) -> Alcotest.(check bool) "query 3 bits" true (same_float est expected.(3))
+    | Err m -> Alcotest.failf "unexpected error %S" m)
+  | lines -> Alcotest.failf "expected 3 answers, got %d" (List.length lines));
+  (* An empty flush still acknowledges with a blank line. *)
+  send oc "\n";
+  Alcotest.(check (list string)) "empty flush" [] (read_batch ic);
+  (* A final batch without a trailing blank line flushes on close. *)
+  send oc "a(b,b)";
+  Unix.shutdown _fd Unix.SHUTDOWN_SEND;
+  match read_batch ic with
+  | [ line ] -> (
+    match parse_answer line with
+    | Ok (est, _, _, _) -> Alcotest.(check bool) "eof flush bits" true (same_float est expected.(2))
+    | Err m -> Alcotest.failf "unexpected error %S" m)
+  | lines -> Alcotest.failf "expected 1 answer at eof, got %d" (List.length lines)
+
+let test_routing_and_unknown_prefix () =
+  let t, tree, _ = registry_with_fig11 () in
+  let regular = Helpers.tree_of Helpers.regular_spec in
+  let b2 = Result.get_ok (Registry.install_document t ~name:"r" regular) in
+  ignore tree;
+  with_server t @@ fun server ->
+  with_client (Server.port server) @@ fun _fd ic oc ->
+  send oc "r:a(b)\nnosuch:a(b,b)\n\n";
+  match List.map parse_answer (read_batch ic) with
+  | [ Ok (_, e1, ds1, _); Ok (_, _, ds2, _) ] ->
+    Alcotest.(check string) "prefix routes" "r" ds1;
+    Alcotest.(check int) "routed epoch" (Registry.epoch b2) e1;
+    (* A prefix naming no dataset is part of the query for the default. *)
+    Alcotest.(check string) "unknown prefix falls through" "d" ds2
+  | _ -> Alcotest.fail "expected two ok answers"
+
+let test_json_mode () =
+  let t, _, _ = registry_with_fig11 () in
+  let config = { Server.default_config with Server.json = true } in
+  with_server ~config t @@ fun server ->
+  with_client (Server.port server) @@ fun _fd ic oc ->
+  send oc "a(b,b)\nnot a query (((\n\n";
+  match read_batch ic with
+  | [ l0; l1 ] ->
+    Alcotest.(check bool) "estimate field" true (contains ~needle:"\"estimate\":" l0);
+    Alcotest.(check bool) "epoch field" true (contains ~needle:"\"epoch\":" l0);
+    Alcotest.(check bool) "dataset field" true (contains ~needle:"\"dataset\":\"d\"" l0);
+    Alcotest.(check bool) "error object" true (contains ~needle:"\"error\":" l1)
+  | lines -> Alcotest.failf "expected 2 json answers, got %d" (List.length lines)
+
+(* --- concurrent clients ---------------------------------------------------- *)
+
+(* N writer threads, each flushing several batches of known queries: the
+   full multiset of served answers must equal the sequential reference —
+   here checked line-by-line against the baseline, which implies the
+   multiset equality, and bit-exactly. *)
+let test_multiclient_matches_sequential () =
+  let t, tree, bundle = registry_with_fig11 () in
+  let queries = Array.of_list fig11_queries in
+  let twigs = Array.map (Helpers.twig_of_string tree) queries in
+  let expected = baseline (Registry.summary bundle) twigs in
+  let n_clients = 8 and batches_per_client = 5 and reps = 4 in
+  Tl_util.Pool.with_pool ~domains:2 @@ fun pool ->
+  with_server ~pool t @@ fun server ->
+  let failures = Atomic.make 0 in
+  let answered = Atomic.make 0 in
+  let client cid =
+    try
+      with_client (Server.port server) @@ fun _fd ic oc ->
+      for b = 1 to batches_per_client do
+        let order =
+          Array.init
+            (reps * Array.length queries)
+            (fun i -> (i + cid + b) mod Array.length queries)
+        in
+        let buf = Buffer.create 256 in
+        Array.iter
+          (fun qi ->
+            Buffer.add_string buf queries.(qi);
+            Buffer.add_char buf '\n')
+          order;
+        Buffer.add_char buf '\n';
+        send oc (Buffer.contents buf);
+        let answers = read_batch ic in
+        if List.length answers <> Array.length order then Atomic.incr failures
+        else
+          List.iteri
+            (fun i line ->
+              match parse_answer line with
+              | Ok (est, _, _, _) when same_float est expected.(order.(i)) ->
+                Atomic.incr answered
+              | _ -> Atomic.incr failures)
+            answers
+      done
+    with _ -> Atomic.incr failures
+  in
+  let threads = List.init n_clients (fun cid -> Thread.create client cid) in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "no mismatched or lost answer" 0 (Atomic.get failures);
+  Alcotest.(check int) "every line answered"
+    (n_clients * batches_per_client * reps * Array.length queries)
+    (Atomic.get answered);
+  let stats = Server.stats server in
+  Alcotest.(check int) "stats count every query" (Atomic.get answered) stats.Server.queries;
+  Alcotest.(check int) "all clients accepted" n_clients stats.Server.connections;
+  Alcotest.(check int) "nothing shed at this load" 0 stats.Server.shed
+
+(* --- admission control ----------------------------------------------------- *)
+
+let test_tiny_queue_sheds () =
+  Metrics.reset ();
+  let t, _, _ = registry_with_fig11 () in
+  let config = { Server.default_config with Server.workers = 1; queue_capacity = 1 } in
+  with_server ~config t @@ fun server ->
+  let port = Server.port server in
+  (* Occupy the single worker with a half-sent batch... *)
+  with_client port @@ fun holder_fd holder_ic holder_oc ->
+  send holder_oc "a(b,b)\n";
+  Thread.delay 0.3;
+  (* ...fill the queue with a second connection... *)
+  let queued_fd = connect port in
+  Thread.delay 0.2;
+  (* ...then every further arrival must be shed with a busy line. *)
+  let busy_seen = ref 0 in
+  for _ = 1 to 3 do
+    with_client port @@ fun _fd ic _oc ->
+    match input_line ic with
+    | line when String.length line >= 4 && String.sub line 0 4 = "busy" -> incr busy_seen
+    | line -> Alcotest.failf "expected busy, got %S" line
+    | exception End_of_file -> Alcotest.fail "shed connection closed without busy line"
+  done;
+  Alcotest.(check int) "every overflow connection got busy" 3 !busy_seen;
+  let stats = Server.stats server in
+  Alcotest.(check bool) "shed counter advanced" true (stats.Server.shed >= 3);
+  Alcotest.(check int) "shed metric matches" stats.Server.shed (counter "server.shed_total");
+  (* The process stays healthy: the in-flight batch still answers... *)
+  send holder_oc "\n";
+  Alcotest.(check int) "holder batch answered" 1 (List.length (read_batch holder_ic));
+  Unix.shutdown holder_fd Unix.SHUTDOWN_SEND;
+  ignore (read_batch holder_ic);
+  (* ...and once the worker frees up, the queued connection serves too. *)
+  let ic = Unix.in_channel_of_descr queued_fd in
+  let oc = Unix.out_channel_of_descr queued_fd in
+  send oc "b(c,d)\n\n";
+  (match List.map parse_answer (read_batch ic) with
+  | [ Ok _ ] -> ()
+  | _ -> Alcotest.fail "queued connection must serve after the holder");
+  (try Unix.close queued_fd with Unix.Unix_error _ -> ())
+
+(* --- graceful drain -------------------------------------------------------- *)
+
+let test_stop_drains_in_flight_batch () =
+  let t, tree, bundle = registry_with_fig11 () in
+  let twigs = Array.of_list (List.map (Helpers.twig_of_string tree) fig11_queries) in
+  let expected = baseline (Registry.summary bundle) twigs in
+  let server = Server.start t in
+  let port = Server.port server in
+  with_client port @@ fun _fd ic oc ->
+  (* Two lines pending, no flush: stop must half-close the connection so
+     this batch still answers on its epoch before the server exits. *)
+  send oc "a(b(c,d))\nb(c,d)\n";
+  Thread.delay 0.3;
+  let stopper = Thread.create Server.stop server in
+  (match List.map parse_answer (read_batch ic) with
+  | [ Ok (e0, ep0, _, _); Ok (e1, ep1, _, _) ] ->
+    Alcotest.(check bool) "drained answer 0 bits" true (same_float e0 expected.(0));
+    Alcotest.(check bool) "drained answer 1 bits" true (same_float e1 expected.(3));
+    Alcotest.(check int) "same epoch" ep0 ep1
+  | _ -> Alcotest.fail "in-flight batch must be answered during drain");
+  Thread.join stopper;
+  (* Stopped means stopped: new connections are refused. *)
+  (match connect port with
+  | fd ->
+    (* A race with kernel-accepted backlog is possible; the socket must
+       at least be closed without an answer. *)
+    let ic = Unix.in_channel_of_descr fd in
+    (match input_line ic with
+    | line -> Alcotest.failf "answer after stop: %S" line
+    | exception End_of_file -> ());
+    Unix.close fd
+  | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ());
+  Server.stop server
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "batching, errors, eof flush" `Quick test_protocol_basics;
+          Alcotest.test_case "routing and unknown prefix" `Quick test_routing_and_unknown_prefix;
+          Alcotest.test_case "json mode" `Quick test_json_mode;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "multi-client multiset = sequential reference" `Quick
+            test_multiclient_matches_sequential;
+        ] );
+      ( "admission",
+        [ Alcotest.test_case "tiny queue sheds with busy" `Quick test_tiny_queue_sheds ] );
+      ( "drain",
+        [
+          Alcotest.test_case "stop answers in-flight batches" `Quick
+            test_stop_drains_in_flight_batch;
+        ] );
+    ]

@@ -73,6 +73,21 @@ let test_unknown_entity_rejected () = expect_parse_error "<a>&nope;</a>"
 
 let test_bad_charref_rejected () = expect_parse_error "<a>&#xZZ;</a>"
 
+(* Surrogates pass a plain [<= 0x10FFFF] range check but are not Unicode
+   scalar values; the lexer must reject them as a positioned parse error,
+   not leak [Uchar.of_int]'s [Invalid_argument]. *)
+let test_surrogate_charref_rejected () =
+  List.iter expect_parse_error
+    [ "<a>&#xD800;</a>"; "<a>&#xDFFF;</a>"; "<a>&#55296;</a>" ]
+
+let test_out_of_range_charref_rejected () = expect_parse_error "<a>&#x110000;</a>"
+
+let test_astral_charref_accepted () =
+  let el = root "<a>&#x1F600;</a>" in
+  match el.children with
+  | [ Text t ] -> Alcotest.(check string) "astral ref" "\xF0\x9F\x98\x80" t
+  | _ -> Alcotest.fail "expected one text node"
+
 (* --- other markup ------------------------------------------------------------ *)
 
 let test_cdata () =
@@ -233,6 +248,9 @@ let () =
           Alcotest.test_case "numeric references" `Quick test_numeric_references;
           Alcotest.test_case "unknown entity" `Quick test_unknown_entity_rejected;
           Alcotest.test_case "bad charref" `Quick test_bad_charref_rejected;
+          Alcotest.test_case "surrogate charref" `Quick test_surrogate_charref_rejected;
+          Alcotest.test_case "out-of-range charref" `Quick test_out_of_range_charref_rejected;
+          Alcotest.test_case "astral charref" `Quick test_astral_charref_accepted;
         ] );
       ( "markup",
         [
